@@ -1,0 +1,47 @@
+// Shared console-table helpers for the paper-reproduction benchmark
+// harnesses. Each bench binary regenerates one table or figure of the
+// paper (see DESIGN.md section 5) and prints paper values next to the
+// simulated measurements so EXPERIMENTS.md can be filled from the output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace msvm::bench {
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("=============================================================\n");
+}
+
+inline void print_row_sep() {
+  std::printf("-------------------------------------------------------------\n");
+}
+
+/// Parses "--iters=N"-style overrides from argv.
+inline u64 arg_u64(int argc, char** argv, const std::string& key,
+                   u64 fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoull(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace msvm::bench

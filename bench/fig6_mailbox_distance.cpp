@@ -1,0 +1,63 @@
+// Figure 6: average mailbox ping-pong latency (half round trip) as a
+// function of the mesh distance between the participants, for the
+// polling (no-IPI) and the IPI-driven implementation.
+//
+// Paper findings to reproduce:
+//   - latency increases linearly with distance, with a very low gradient;
+//   - with only two active cores the polling variant (one receive buffer
+//     to check) is *faster* than the interrupt-driven variant, whose
+//     latency carries the interrupt entry/exit overhead.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "sccsim/mesh.hpp"
+#include "workloads/pingpong.hpp"
+
+using namespace msvm;
+
+int main(int argc, char** argv) {
+  const int reps = static_cast<int>(bench::arg_u64(argc, argv, "reps", 200));
+
+  bench::print_header(
+      "Figure 6 — mailbox latency vs. mesh distance",
+      "Lankes et al., PMAM'12, Section 7.1, Figure 6");
+
+  // Partners of core 0 at every possible hop distance 0..8.
+  struct Pair {
+    int partner;
+    int hops;
+  };
+  const Pair pairs[] = {
+      {1, 0},  {2, 1},  {4, 2},  {6, 3},  {8, 4},
+      {10, 5}, {22, 6}, {34, 7}, {46, 8},
+  };
+
+  std::printf("%8s %8s | %16s | %16s\n", "partner", "hops", "no-IPI [us]",
+              "IPI [us]");
+  bench::print_row_sep();
+  for (const Pair& pair : pairs) {
+    if (scc::Mesh::hops_between_cores(0, pair.partner) != pair.hops) {
+      std::fprintf(stderr, "internal: unexpected hop count\n");
+      return 1;
+    }
+    workloads::PingPongParams p;
+    p.core_a = 0;
+    p.core_b = pair.partner;
+    p.activated_cores = 2;
+    p.reps = reps;
+
+    p.use_ipi = false;
+    const TimePs poll = run_mailbox_pingpong(p).half_rtt_mean;
+    p.use_ipi = true;
+    const TimePs ipi = run_mailbox_pingpong(p).half_rtt_mean;
+
+    std::printf("%8d %8d | %16.3f | %16.3f\n", pair.partner, pair.hops,
+                ps_to_us(poll), ps_to_us(ipi));
+  }
+  bench::print_row_sep();
+  std::printf(
+      "expected shape: both curves ~linear in hops with a low gradient;\n"
+      "no-IPI below IPI (interrupt overhead) when only 2 cores are "
+      "active.\n");
+  return 0;
+}

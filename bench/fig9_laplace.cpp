@@ -1,0 +1,85 @@
+// Figure 9: runtimes of the two-dimensional Laplace (Jacobi
+// over-relaxation) benchmark, 1024 x 512 doubles, over the number of
+// cores, for three variants:
+//   - iRCCE message passing (private arrays + ghost-row exchange),
+//   - SVM with the Strong Memory Model,
+//   - SVM with Lazy Release Consistency.
+//
+// Paper findings to reproduce (Section 7.2.2):
+//   - the two SVM curves are nearly identical: the strong model's
+//     ownership overhead (~2 page faults x ~9 us per iteration) is
+//     negligible against the runtime;
+//   - the SVM variants beat the message-passing variant up to ~32 cores
+//     because their MPBT-typed pages write through the combine buffer
+//     while the iRCCE variant pays a DRAM transaction per store;
+//   - beyond 32 cores the message-passing variant becomes super-linear:
+//     each core's rows start fitting into its private L2, which SVM
+//     pages sacrifice for the write-combine buffer.
+//
+// The paper iterates 5000 times; iteration timing is stationary, so we
+// default to 10 iterations and report per-iteration times (override with
+// --iters=N).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "workloads/laplace.hpp"
+
+using namespace msvm;
+
+int main(int argc, char** argv) {
+  workloads::LaplaceParams p;
+  p.nx = 512;
+  p.ny = 1024;
+  p.iterations = static_cast<u32>(bench::arg_u64(argc, argv, "iters", 10));
+  const bool quick = bench::arg_flag(argc, argv, "quick");
+  if (quick) {
+    p.ny = 128;
+    p.iterations = 4;
+  }
+
+  bench::print_header(
+      "Figure 9 — 2-D Laplace runtimes (1024x512, JOR)",
+      "Lankes et al., PMAM'12, Section 7.2.2, Figure 9");
+  std::printf("grid %ux%u, %u iterations (paper: 5000; stationary per "
+              "iteration)\n\n",
+              p.ny, p.nx, p.iterations);
+
+  std::printf("%6s | %12s %9s | %12s %9s | %12s %9s | %10s\n", "cores",
+              "iRCCE [ms]", "speedup", "strong [ms]", "speedup",
+              "lazy [ms]", "speedup", "strong flt/it/core");
+  bench::print_row_sep();
+
+  double base_mp = 0;
+  double base_strong = 0;
+  double base_lazy = 0;
+  const int counts[] = {1, 2, 4, 8, 16, 24, 32, 40, 48};
+  for (const int cores : counts) {
+    if (quick && cores > 16) break;
+    const auto mp = run_laplace_ircce(p, cores);
+    const auto strong =
+        run_laplace_svm(p, svm::Model::kStrong, cores);
+    const auto lazy =
+        run_laplace_svm(p, svm::Model::kLazyRelease, cores);
+    if (cores == 1) {
+      base_mp = ps_to_ms(mp.elapsed);
+      base_strong = ps_to_ms(strong.elapsed);
+      base_lazy = ps_to_ms(lazy.elapsed);
+    }
+    const double faults_per_iter =
+        static_cast<double>(strong.ownership_acquires) /
+        (static_cast<double>(cores) * p.iterations);
+    std::printf("%6d | %12.2f %9.2f | %12.2f %9.2f | %12.2f %9.2f | %10.1f\n",
+                cores, ps_to_ms(mp.elapsed), base_mp / ps_to_ms(mp.elapsed),
+                ps_to_ms(strong.elapsed),
+                base_strong / ps_to_ms(strong.elapsed),
+                ps_to_ms(lazy.elapsed), base_lazy / ps_to_ms(lazy.elapsed),
+                faults_per_iter);
+  }
+  bench::print_row_sep();
+  std::printf(
+      "expected shape: strong ~= lazy at every core count; SVM faster\n"
+      "than iRCCE up to ~32 cores (write-combine buffer vs. per-store\n"
+      "DRAM writes); iRCCE super-linear beyond 32 cores as each core's\n"
+      "rows fit in its L2, which SVM pages bypass.\n");
+  return 0;
+}

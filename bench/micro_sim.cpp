@@ -1,0 +1,113 @@
+// Host-performance microbenchmarks (google-benchmark) for the simulator
+// substrate itself: fiber context switches, scheduler turnaround and the
+// functional memory pipeline. These measure *host* nanoseconds (how fast
+// the simulation runs), not simulated time — they guard the simulator's
+// usability for the repo's larger experiments.
+#include <benchmark/benchmark.h>
+
+#include "sccsim/chip.hpp"
+#include "sim/fiber.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace msvm;
+
+void BM_FiberSwitchRoundTrip(benchmark::State& state) {
+  bool stop = false;
+  sim::Fiber fiber([&] {
+    while (!stop) sim::Fiber::yield_to_main();
+  });
+  for (auto _ : state) {
+    fiber.resume();
+  }
+  stop = true;
+  fiber.resume();
+}
+BENCHMARK(BM_FiberSwitchRoundTrip);
+
+void BM_SchedulerYieldTwoActors(benchmark::State& state) {
+  // Measures a full yield-reschedule-resume cycle with two actors
+  // leapfrogging, amortised per yield.
+  const u64 yields_per_run = 10000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Scheduler sched;
+    for (int a = 0; a < 2; ++a) {
+      sched.spawn("actor", [&sched, yields_per_run] {
+        for (u64 i = 0; i < yields_per_run; ++i) {
+          sched.current()->advance(10);
+          sched.yield();
+        }
+      });
+    }
+    state.ResumeTiming();
+    sched.run();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 2 *
+                          static_cast<i64>(yields_per_run));
+}
+BENCHMARK(BM_SchedulerYieldTwoActors);
+
+void BM_VloadL1Hit(benchmark::State& state) {
+  scc::ChipConfig cfg;
+  cfg.num_cores = 1;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 1 << 20;
+  scc::Chip chip(cfg);
+  u64 accesses = 0;
+  chip.spawn_program(0, [&](scc::Core& core) {
+    scc::Pte pte;
+    pte.frame_paddr = scc::kSharedBase;
+    pte.present = true;
+    pte.writable = true;
+    pte.mpbt = true;
+    core.pagetable().map(scc::kSvmVBase, pte);
+    (void)core.vload<u64>(scc::kSvmVBase);  // warm the line
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core.vload<u64>(scc::kSvmVBase));
+      ++accesses;
+    }
+  });
+  chip.run();
+  state.SetItemsProcessed(static_cast<i64>(accesses));
+}
+BENCHMARK(BM_VloadL1Hit);
+
+void BM_VstoreWcbMerge(benchmark::State& state) {
+  scc::ChipConfig cfg;
+  cfg.num_cores = 1;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 1 << 20;
+  scc::Chip chip(cfg);
+  chip.spawn_program(0, [&](scc::Core& core) {
+    scc::Pte pte;
+    pte.frame_paddr = scc::kSharedBase;
+    pte.present = true;
+    pte.writable = true;
+    pte.mpbt = true;
+    core.pagetable().map(scc::kSvmVBase, pte);
+    u64 v = 0;
+    for (auto _ : state) {
+      core.vstore<u64>(scc::kSvmVBase + (v % 4) * 8, v);
+      ++v;
+    }
+  });
+  chip.run();
+}
+BENCHMARK(BM_VstoreWcbMerge);
+
+void BM_CacheFillEvictSweep(benchmark::State& state) {
+  scc::Cache cache(16 * 1024, 2, 32);
+  u8 line[32] = {1, 2, 3};
+  u64 addr = 0;
+  for (auto _ : state) {
+    cache.fill(addr, line, false);
+    addr += 32;
+  }
+}
+BENCHMARK(BM_CacheFillEvictSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Coherency-domain demo (paper Section 1: "a dynamic partitioning of
+// the SCC's computing resources into several coherency domains"): the
+// 48-core die is split into three independent shared-memory machines,
+// each running its own workload with its own consistency model events —
+// concurrently, with zero interference.
+//
+//   $ ./build/examples/coherency_domains
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+
+using namespace msvm;
+
+int main() {
+  cluster::ClusterConfig cfg;
+  cfg.chip.num_cores = 48;
+  // Three domains: a 16-core "web tier", a 24-core "compute tier" and an
+  // 8-core "logging tier" — the cluster-on-chip picture of the paper.
+  std::vector<int> web;
+  std::vector<int> compute;
+  std::vector<int> logging;
+  for (int c = 0; c < 16; ++c) web.push_back(c);
+  for (int c = 16; c < 40; ++c) compute.push_back(c);
+  for (int c = 40; c < 48; ++c) logging.push_back(c);
+  cfg.domains = {web, compute, logging};
+
+  cluster::Cluster cluster(cfg);
+  double compute_result = 0.0;
+  u64 web_requests = 0;
+  u64 log_lines = 0;
+
+  cluster.run([&](cluster::Node& n) {
+    svm::Svm& svm = n.svm();
+    const u64 base = svm.alloc(16 * 4096);
+    svm.barrier();
+    if (n.core_id() < 16) {
+      // "Web tier": shared request counter under an SVM lock.
+      for (int i = 0; i < 25; ++i) {
+        svm.lock_acquire(0);
+        svm.write<u64>(base, svm.read<u64>(base) + 1);
+        svm.lock_release(0);
+      }
+      svm.barrier();
+      if (n.rank() == 0) web_requests = svm.read<u64>(base);
+    } else if (n.core_id() < 40) {
+      // "Compute tier": each rank sums into its own slot; rank 0 reduces.
+      double acc = 0;
+      for (int i = 0; i < 1000; ++i) {
+        acc += static_cast<double>((n.rank() + 1) * i % 97);
+        n.core().compute_cycles(8);
+      }
+      svm.write<double>(base + 64 + 8 * static_cast<u64>(n.rank()), acc);
+      svm.barrier();
+      if (n.rank() == 0) {
+        for (int r = 0; r < n.size(); ++r) {
+          compute_result +=
+              svm.read<double>(base + 64 + 8 * static_cast<u64>(r));
+        }
+      }
+    } else {
+      // "Logging tier": append-only counter per rank.
+      for (int i = 0; i < 10; ++i) {
+        svm.write<u64>(base + 4096 + 8 * static_cast<u64>(n.rank()),
+                       static_cast<u64>(i + 1));
+      }
+      svm.barrier();
+      if (n.rank() == 0) {
+        for (int r = 0; r < n.size(); ++r) {
+          log_lines +=
+              svm.read<u64>(base + 4096 + 8 * static_cast<u64>(r));
+        }
+      }
+    }
+    svm.barrier();
+  });
+
+  std::printf("web tier     (16 cores): %llu requests counted\n",
+              static_cast<unsigned long long>(web_requests));
+  std::printf("compute tier (24 cores): partial-sum reduction = %.1f\n",
+              compute_result);
+  std::printf("logging tier ( 8 cores): %llu lines appended\n",
+              static_cast<unsigned long long>(log_lines));
+  std::printf("all three shared-memory machines ran concurrently on one "
+              "chip\n(simulated makespan %.3f ms)\n",
+              ps_to_ms(cluster.makespan()));
+  return web_requests == 16 * 25 && log_lines == 8 * 10 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msvm::cluster {
+
+namespace {
+
+std::vector<std::vector<int>> resolve_groups(const ClusterConfig& cfg) {
+  if (!cfg.domains.empty()) return cfg.domains;
+  if (!cfg.members.empty()) return {cfg.members};
+  std::vector<int> all;
+  for (int i = 0; i < cfg.chip.num_cores; ++i) all.push_back(i);
+  return {all};
+}
+
+std::vector<int> union_of(const std::vector<std::vector<int>>& groups) {
+  std::vector<int> all;
+  for (const auto& g : groups) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  assert(std::adjacent_find(all.begin(), all.end()) == all.end() &&
+         "coherency domains must be disjoint");
+  return all;
+}
+
+}  // namespace
+
+Node::Node(scc::Core& core, const std::vector<int>& members, bool use_ipi,
+           svm::SvmDomain& domain)
+    : core_(core), members_(members) {
+  kernel_ = std::make_unique<kernel::Kernel>(core_);
+  kernel_->boot();
+  mbox_ = std::make_unique<mbox::MailboxSystem>(*kernel_, use_ipi);
+  mbox_->set_participants(members_);
+  svm_ = std::make_unique<svm::Svm>(*kernel_, *mbox_, domain);
+  rcce_ = std::make_unique<rcce::Rcce>(*kernel_, members_);
+}
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)),
+      groups_(resolve_groups(cfg_)),
+      members_(union_of(groups_)),
+      chip_(cfg_.chip) {
+  const int num_slots = static_cast<int>(groups_.size());
+  for (int slot = 0; slot < num_slots; ++slot) {
+    domains_.push_back(std::make_unique<svm::SvmDomain>(
+        chip_, cfg_.svm, groups_[static_cast<std::size_t>(slot)], slot,
+        num_slots));
+  }
+  nodes_.resize(static_cast<std::size_t>(cfg_.chip.num_cores));
+}
+
+void Cluster::run(Body body) {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const int core_id : groups_[g]) {
+      chip_.spawn_program(core_id, [this, g, body](scc::Core& core) {
+        auto& slot = nodes_[static_cast<std::size_t>(core.id())];
+        slot = std::make_unique<Node>(core, groups_[g], cfg_.use_ipi,
+                                      *domains_[g]);
+        body(*slot);
+        // The program is done, but this kernel must stay alive to serve
+        // mailbox traffic (e.g. strong-model ownership requests from
+        // cores still running) — exactly like the real MetalSVM kernel
+        // idling in its interrupt loop. The last core wakes the idlers.
+        ++done_count_;
+        if (done_count_ == members_.size()) {
+          for (const int other : members_) {
+            if (other != core.id()) core.raise_ipi(other);
+          }
+          return;
+        }
+        Node& node = *slot;
+        while (done_count_ < members_.size()) {
+          if (cfg_.use_ipi) {
+            node.kernel().idle_once();
+          } else {
+            node.mbox().poll_all();
+            core.yield();
+          }
+        }
+      });
+    }
+  }
+  chip_.run();
+}
+
+Node& Cluster::node(int core_id) {
+  auto& n = nodes_.at(static_cast<std::size_t>(core_id));
+  assert(n != nullptr && "node not booted (core is not a member?)");
+  return *n;
+}
+
+}  // namespace msvm::cluster

@@ -1,0 +1,94 @@
+// Convenience aggregation: one Cluster builds the simulated chip and, on
+// every member core, boots the MetalSVM software stack (kernel, mailbox
+// system, SVM endpoint, RCCE endpoint) and runs an SPMD program against
+// it. This is the layer examples and benchmarks program against; each
+// sub-library remains usable on its own.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "mailbox/mailbox.hpp"
+#include "rcce/rcce.hpp"
+#include "sccsim/chip.hpp"
+#include "svm/svm.hpp"
+
+namespace msvm::cluster {
+
+struct ClusterConfig {
+  scc::ChipConfig chip;
+  svm::SvmConfig svm;
+  /// Mailbox delivery mode (Figures 6/7: IPI-driven vs. polling).
+  bool use_ipi = true;
+  /// Cores that run the SPMD program; empty means all cores on the chip.
+  std::vector<int> members;
+  /// Coherency domains (paper Section 1: "a dynamic partitioning of the
+  /// SCC's computing resources into several coherency domains"): when
+  /// non-empty, each disjoint group gets its own independent SVM domain
+  /// and RCCE communicator; `members` is ignored. A node's rank() is its
+  /// rank within its group.
+  std::vector<std::vector<int>> domains;
+};
+
+/// Everything a program running on one core can reach.
+class Node {
+ public:
+  Node(scc::Core& core, const std::vector<int>& members, bool use_ipi,
+       svm::SvmDomain& domain);
+
+  int core_id() const { return core_.id(); }
+  int rank() const { return svm_->rank(); }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  scc::Core& core() { return core_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  mbox::MailboxSystem& mbox() { return *mbox_; }
+  svm::Svm& svm() { return *svm_; }
+  rcce::Rcce& rcce() { return *rcce_; }
+
+ private:
+  scc::Core& core_;
+  const std::vector<int>& members_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<mbox::MailboxSystem> mbox_;
+  std::unique_ptr<svm::Svm> svm_;
+  std::unique_ptr<rcce::Rcce> rcce_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  scc::Chip& chip() { return chip_; }
+  /// The (first) SVM domain; with coherency domains configured, use
+  /// domain(g) for group g.
+  svm::SvmDomain& domain(std::size_t group = 0) {
+    return *domains_.at(group);
+  }
+  std::size_t num_domains() const { return domains_.size(); }
+  const std::vector<int>& members() const { return members_; }
+
+  /// Runs `body` as an SPMD program on every member core and simulates
+  /// to completion. May be called once per Cluster.
+  using Body = std::function<void(Node&)>;
+  void run(Body body);
+
+  /// Node for a member core; valid after run() for stats collection.
+  Node& node(int core_id);
+
+  /// Wall-clock (virtual) completion time of the slowest member.
+  TimePs makespan() const { return chip_.makespan(); }
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<std::vector<int>> groups_;  // at least one
+  std::vector<int> members_;              // union of the groups
+  scc::Chip chip_;
+  std::vector<std::unique_ptr<svm::SvmDomain>> domains_;  // per group
+  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by core id
+  std::size_t done_count_ = 0;  // members whose program body returned
+};
+
+}  // namespace msvm::cluster

@@ -1,0 +1,111 @@
+#include "cluster/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace msvm::cluster {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_core_row(std::string& out, const char* label,
+                     const scc::CoreCounters& c,
+                     const ReportOptions& options) {
+  appendf(out, "%-8s", label);
+  appendf(out, " busy %10.3f ms", ps_to_ms(c.busy_ps));
+  if (options.memory) {
+    appendf(out, " | ld %10llu st %10llu",
+            static_cast<unsigned long long>(c.loads),
+            static_cast<unsigned long long>(c.stores));
+    const u64 l1 = c.l1_hits + c.l1_misses;
+    appendf(out, " | L1 %5.1f%%",
+            l1 ? 100.0 * static_cast<double>(c.l1_hits) /
+                     static_cast<double>(l1)
+               : 0.0);
+    appendf(out, " L2hit %8llu",
+            static_cast<unsigned long long>(c.l2_hits));
+    appendf(out, " | DRAM r %8llu w %8llu wcb %7llu",
+            static_cast<unsigned long long>(c.dram_reads),
+            static_cast<unsigned long long>(c.dram_writes),
+            static_cast<unsigned long long>(c.wcb_flushes));
+  }
+  appendf(out, " | flt %6llu ipi %5llu",
+          static_cast<unsigned long long>(c.page_faults),
+          static_cast<unsigned long long>(c.ipis_sent));
+  out += '\n';
+}
+
+}  // namespace
+
+std::string format_report(Cluster& cluster, const ReportOptions& options) {
+  std::string out;
+  appendf(out, "=== run report: %d member core(s), makespan %.3f ms ===\n",
+          static_cast<int>(cluster.members().size()),
+          ps_to_ms(cluster.makespan()));
+
+  if (options.per_core) {
+    for (const int c : cluster.members()) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "core %2d", c);
+      append_core_row(out, label, cluster.node(c).core().counters(),
+                      options);
+    }
+  }
+  append_core_row(out, "total", cluster.chip().total_counters(), options);
+
+  if (options.svm) {
+    svm::SvmStats svm_total;
+    for (const int c : cluster.members()) {
+      const svm::SvmStats& s = cluster.node(c).svm().stats();
+      svm_total.map_faults += s.map_faults;
+      svm_total.first_touch_allocs += s.first_touch_allocs;
+      svm_total.ownership_acquires += s.ownership_acquires;
+      svm_total.ownership_serves += s.ownership_serves;
+      svm_total.ownership_forwards += s.ownership_forwards;
+      svm_total.migrations += s.migrations;
+      svm_total.barriers += s.barriers;
+      svm_total.lock_acquires += s.lock_acquires;
+    }
+    appendf(out,
+            "svm: first-touch %llu, map %llu, own-acq %llu, own-serve "
+            "%llu, fwd %llu, migrate %llu, barriers %llu, locks %llu\n",
+            static_cast<unsigned long long>(svm_total.first_touch_allocs),
+            static_cast<unsigned long long>(svm_total.map_faults),
+            static_cast<unsigned long long>(svm_total.ownership_acquires),
+            static_cast<unsigned long long>(svm_total.ownership_serves),
+            static_cast<unsigned long long>(svm_total.ownership_forwards),
+            static_cast<unsigned long long>(svm_total.migrations),
+            static_cast<unsigned long long>(svm_total.barriers),
+            static_cast<unsigned long long>(svm_total.lock_acquires));
+  }
+
+  if (options.mailbox) {
+    u64 sent = 0;
+    u64 received = 0;
+    u64 checks = 0;
+    for (const int c : cluster.members()) {
+      const mbox::MailboxStats& m = cluster.node(c).mbox().stats();
+      sent += m.sent;
+      received += m.received;
+      checks += m.slot_checks;
+    }
+    appendf(out, "mailbox: sent %llu, received %llu, slot checks %llu\n",
+            static_cast<unsigned long long>(sent),
+            static_cast<unsigned long long>(received),
+            static_cast<unsigned long long>(checks));
+  }
+  return out;
+}
+
+}  // namespace msvm::cluster

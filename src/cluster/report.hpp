@@ -1,0 +1,24 @@
+// Human-readable run reports: formats the per-core hardware counters and
+// the SVM/mailbox statistics of a completed Cluster run into a compact
+// table. Examples and ad-hoc experiments use this instead of hand-rolled
+// printf blocks; benches print paper-style tables of their own.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace msvm::cluster {
+
+struct ReportOptions {
+  bool per_core = false;  // one row per member instead of totals only
+  bool memory = true;     // cache/DRAM/WCB counters
+  bool svm = true;        // fault and ownership statistics
+  bool mailbox = true;    // mail traffic
+};
+
+/// Renders the statistics of a finished run. Call after Cluster::run().
+std::string format_report(Cluster& cluster,
+                          const ReportOptions& options = {});
+
+}  // namespace msvm::cluster

@@ -1,0 +1,79 @@
+#include "kernel/kernel.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sccsim/addrmap.hpp"
+
+namespace msvm::kernel {
+
+Kernel::Kernel(scc::Core& core) : core_(core) {}
+
+void Kernel::boot() {
+  assert(!booted_ && "kernel booted twice");
+  booted_ = true;
+
+  scc::Chip& chip = core_.chip();
+  const scc::ChipConfig& cfg = chip.config();
+
+  // Identity-style map of the core's private DRAM: cacheable through L1
+  // and L2 (the SCC enables caches on private regions by default), never
+  // MPBT. Mapped eagerly — the private region is the kernel's own memory,
+  // there is nothing lazy about it.
+  const u64 priv_phys = chip.map().private_base(core_.id());
+  for (u64 off = 0; off < cfg.private_dram_bytes; off += cfg.page_bytes) {
+    scc::Pte pte;
+    pte.frame_paddr = priv_phys + off;
+    pte.present = true;
+    pte.writable = true;
+    pte.mpbt = false;
+    pte.l2_enable = true;
+    core_.pagetable().map(scc::kPrivVBase + off, pte);
+  }
+  heap_next_ = scc::kPrivVBase;
+  heap_end_ = scc::kPrivVBase + cfg.private_dram_bytes;
+
+  // Interrupt dispatch: fan out to every registered client.
+  core_.set_ipi_handler([this](scc::Core&, u64 mask) {
+    for (auto& h : ipi_handlers_) h(mask);
+  });
+  core_.set_timer_handler([this](scc::Core&) {
+    for (auto& h : timer_handlers_) h();
+  });
+
+  // Fault dispatch: SVM addresses go to the SVM subsystem, anything else
+  // is a kernel bug.
+  core_.set_fault_handler([this](scc::Core&, u64 vaddr, bool is_write) {
+    if (vaddr >= scc::kSvmVBase && svm_fault_handler_) {
+      svm_fault_handler_(vaddr, is_write);
+      return;
+    }
+    std::fprintf(stderr,
+                 "kernel panic (core %d): unhandled %s fault at 0x%llx\n",
+                 core_.id(), is_write ? "write" : "read",
+                 static_cast<unsigned long long>(vaddr));
+    std::abort();
+  });
+}
+
+u64 Kernel::kmalloc(u64 bytes, u64 align) {
+  assert(booted_ && "kmalloc before boot");
+  assert(align != 0 && (align & (align - 1)) == 0);
+  const u64 base = (heap_next_ + align - 1) & ~(align - 1);
+  if (base + bytes > heap_end_) {
+    std::fprintf(stderr,
+                 "kernel panic (core %d): private heap exhausted "
+                 "(%llu bytes requested)\n",
+                 core_.id(), static_cast<unsigned long long>(bytes));
+    std::abort();
+  }
+  heap_next_ = base + bytes;
+  // Bookkeeping cost of the allocation path itself.
+  core_.compute_cycles(60);
+  return base;
+}
+
+u64 Kernel::kheap_remaining() const { return heap_end_ - heap_next_; }
+
+}  // namespace msvm::kernel

@@ -1,0 +1,34 @@
+// On-die MPB space carving, shared by the mailbox system, the SVM
+// scratchpad and the RCCE allocator.
+//
+// Paper, Section 5: "For each communication path between two cores a
+// mailbox of one cache-line size is reserved at each local MPB. Thus, the
+// mailbox system takes 48 * 32 Bytes = 1.5 kByte of MPB space per core
+// ... RCCE provides a memory allocation scheme to manage the remaining
+// 6.5 kByte". Section 6.3 additionally parks the first-touch scratchpad
+// in on-die memory; we carve it out of the RCCE share.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace msvm::mbox {
+
+inline constexpr u32 kMailBytes = 32;  // one cache line per mailbox
+inline constexpr u32 kMaxCores = 48;
+
+/// [0, 1536): mailbox slots, one per potential sender.
+inline constexpr u32 kMailboxRegionBytes = kMaxCores * kMailBytes;
+
+/// [1536, 3584): SVM first-touch scratchpad (16-bit entries, Section 6.3).
+inline constexpr u32 kScratchpadOffset = kMailboxRegionBytes;
+inline constexpr u32 kScratchpadBytes = 2048;
+
+/// [3584, 8192): RCCE-managed space (flags + communication buffers).
+inline constexpr u32 kRcceOffset = kScratchpadOffset + kScratchpadBytes;
+
+/// Offset of the mailbox written by `sender` within the receiver's MPB.
+constexpr u32 mail_slot_offset(int sender) {
+  return static_cast<u32>(sender) * kMailBytes;
+}
+
+}  // namespace msvm::mbox

@@ -1,0 +1,236 @@
+#include "mailbox/mailbox.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "sccsim/addrmap.hpp"
+#include "sim/log.hpp"
+
+namespace msvm::mbox {
+
+namespace {
+
+// Byte layout of a 32-byte mailbox line.
+constexpr u32 kFlagOff = 0;
+constexpr u32 kTypeOff = 1;
+constexpr u32 kArgOff = 2;
+constexpr u32 kP0Off = 4;
+constexpr u32 kP1Off = 12;
+constexpr u32 kP2Off = 20;
+
+// Modelled software cost of checking one receive buffer: "Currently, the
+// mailbox system requires 100 processor cycles to check one receive
+// buffer" (paper footnote 2). The uncached MPB flag read is charged on
+// top by the memory model.
+constexpr u64 kSlotCheckCycles = 100;
+
+// Software cost of composing/consuming a mail (copies, bookkeeping).
+constexpr u64 kMailSoftwareCycles = 60;
+
+}  // namespace
+
+MailboxSystem::MailboxSystem(kernel::Kernel& kernel, bool use_ipi)
+    : kernel_(kernel),
+      core_(kernel.core()),
+      use_ipi_(use_ipi),
+      handlers_(256) {
+  const int n = core_.chip().num_cores();
+  participants_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) participants_.push_back(i);
+
+  if (use_ipi_) {
+    // Event-driven path: check exactly the slots of the cores that raised
+    // the interrupt.
+    kernel_.add_ipi_handler([this](u64 source_mask) {
+      for (int src = 0; source_mask != 0; ++src, source_mask >>= 1) {
+        if (source_mask & 1) poll_from(src);
+      }
+    });
+  } else {
+    // Poll path: scan everything on every timer interrupt; idle and wait
+    // loops scan explicitly.
+    kernel_.add_timer_handler([this] { poll_all(); });
+  }
+}
+
+void MailboxSystem::set_participants(std::vector<int> cores) {
+  participants_ = std::move(cores);
+}
+
+u64 MailboxSystem::slot_paddr(int receiver, int sender) const {
+  return core_.chip().map().mpb_base(receiver) + mail_slot_offset(sender);
+}
+
+void MailboxSystem::deposit(u64 slot, const Mail& mail, int dest) {
+  // Deposit payload, then set the flag — the flag write is the release
+  // point of the SRSW channel.
+  core_.compute_cycles(kMailSoftwareCycles);
+  u8 line[kMailBytes] = {0};
+  line[kTypeOff] = mail.type;
+  std::memcpy(line + kArgOff, &mail.arg16, sizeof(mail.arg16));
+  std::memcpy(line + kP0Off, &mail.p0, sizeof(mail.p0));
+  std::memcpy(line + kP1Off, &mail.p1, sizeof(mail.p1));
+  std::memcpy(line + kP2Off, &mail.p2, sizeof(mail.p2));
+  core_.pwrite(slot + 1, line + 1, kMailBytes - 1,
+               scc::MemPolicy::kUncached);
+  core_.pstore<u8>(slot + kFlagOff, 1, scc::MemPolicy::kUncached);
+  ++stats_.sent;
+  MSVM_LOG_DEBUG("core %d: DEPOSIT type=%u p0=%llu -> %d", core_.id(),
+                 mail.type, static_cast<unsigned long long>(mail.p0), dest);
+  if (use_ipi_) core_.raise_ipi(dest);
+}
+
+bool MailboxSystem::try_send(int dest, const Mail& mail) {
+  const u64 slot = slot_paddr(dest, core_.id());
+  // The flag check and the deposit must be atomic against our own
+  // interrupt handlers: a handler interrupting between them could itself
+  // deposit into this very slot (e.g. an ownership ACK), which the
+  // resumed send would silently overwrite.
+  core_.irq_disable();
+  const u8 flag =
+      core_.pload<u8>(slot + kFlagOff, scc::MemPolicy::kUncached);
+  if (flag != 0) {
+    core_.irq_enable();
+    return false;
+  }
+  deposit(slot, mail, dest);
+  core_.irq_enable();
+  return true;
+}
+
+void MailboxSystem::send(int dest, const Mail& mail) {
+  const u64 slot = slot_paddr(dest, core_.id());
+  // Wait for the destination slot to drain. Keep consuming our own
+  // incoming traffic meanwhile: the peer may be blocked sending to *us*.
+  for (;;) {
+    // Check-and-claim atomically w.r.t. our own handlers (see try_send).
+    core_.irq_disable();
+    const u8 flag = core_.pload<u8>(slot + kFlagOff,
+                                    scc::MemPolicy::kUncached);
+    if (flag == 0) {
+      deposit(slot, mail, dest);
+      core_.irq_enable();
+      return;
+    }
+    core_.irq_enable();
+    ++stats_.send_stalls;
+    if (!use_ipi_) {
+      poll_all();
+    } else if (core_.in_interrupt() || core_.irqs_masked()) {
+      // Nested interrupt delivery is masked while a handler runs. Drain
+      // pending IPIs by hand, otherwise two cores replying to each other
+      // from handler context would deadlock on full slots.
+      scc::Gic& gic = core_.chip().gic();
+      if (gic.has_pending(core_.id())) {
+        u64 mask = gic.take_pending(core_.id());
+        for (int src = 0; mask != 0; ++src, mask >>= 1) {
+          if (mask & 1) poll_from(src);
+        }
+      }
+    }
+    // In IPI mode (outside handlers) incoming mail is consumed by the
+    // interrupt handler, which the re-reads above let run at boundaries.
+    core_.yield();
+  }
+}
+
+void MailboxSystem::set_handler(u8 type, Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+int MailboxSystem::poll_all() {
+  int seen = 0;
+  for (const int sender : participants_) {
+    if (sender == core_.id()) continue;
+    if (check_slot(sender)) ++seen;
+  }
+  return seen;
+}
+
+int MailboxSystem::poll_from(int sender) {
+  if (sender == core_.id()) return 0;
+  return check_slot(sender) ? 1 : 0;
+}
+
+bool MailboxSystem::check_slot(int sender) {
+  ++stats_.slot_checks;
+  core_.compute_cycles(kSlotCheckCycles);
+  const u64 slot = slot_paddr(core_.id(), sender);
+  const u8 flag =
+      core_.pload<u8>(slot + kFlagOff, scc::MemPolicy::kUncached);
+  if (flag == 0) return false;
+
+  Mail mail;
+  u8 line[kMailBytes];
+  core_.pread(slot, line, kMailBytes, scc::MemPolicy::kUncached);
+  mail.type = line[kTypeOff];
+  std::memcpy(&mail.arg16, line + kArgOff, sizeof(mail.arg16));
+  std::memcpy(&mail.p0, line + kP0Off, sizeof(mail.p0));
+  std::memcpy(&mail.p1, line + kP1Off, sizeof(mail.p1));
+  std::memcpy(&mail.p2, line + kP2Off, sizeof(mail.p2));
+  mail.sender = sender;
+  MSVM_LOG_DEBUG("core %d: CONSUME type=%u p0=%llu from %d", core_.id(),
+                 mail.type, static_cast<unsigned long long>(mail.p0),
+                 sender);
+  // Consuming the mail: clear the flag so the sender may reuse the slot.
+  core_.pstore<u8>(slot + kFlagOff, 0, scc::MemPolicy::kUncached);
+  ++stats_.received;
+  core_.compute_cycles(kMailSoftwareCycles);
+  dispatch(mail);
+  return true;
+}
+
+void MailboxSystem::dispatch(Mail mail) {
+  if (handlers_[mail.type]) {
+    // Handlers may send replies, which may stall and drain more traffic;
+    // the guard catches runaway protocol recursion.
+    assert(dispatch_depth_ < 16 && "mailbox handler recursion");
+    ++dispatch_depth_;
+    ++stats_.handler_dispatch;
+    handlers_[mail.type](mail);
+    --dispatch_depth_;
+    return;
+  }
+  ++stats_.inbox_enqueued;
+  inbox_.push_back(mail);
+}
+
+std::optional<Mail> MailboxSystem::try_take(const Predicate& pred) {
+  for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+    if (pred(*it)) {
+      Mail m = *it;
+      inbox_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Mail MailboxSystem::recv_match(const Predicate& pred) {
+  u64 rounds = 0;
+  for (;;) {
+    if (auto m = try_take(pred)) return *m;
+    if (++rounds % 5000 == 0) {
+      MSVM_LOG_ERROR("core %d: recv_match starving (round %llu, inbox=%zu)",
+                     core_.id(), static_cast<unsigned long long>(rounds),
+                     inbox_.size());
+    }
+    if (use_ipi_) {
+      // Sleep until an interrupt (the IPI handler fills the inbox).
+      kernel_.idle_once();
+    } else {
+      poll_all();
+      // A short jittered pause between scans decouples this poll loop
+      // from lock-step coupling with the peer (and keeps the host
+      // scheduler out of per-iteration churn). The jitter (~90-150 core
+      // cycles, well below one slot check) models the pipeline noise a
+      // real poll loop has; without it the deterministic simulation
+      // aliases poll phases against the sender.
+      poll_jitter_ = poll_jitter_ * 1103515245u + 12345u;
+      const u64 pause = 90 + (poll_jitter_ >> 16) % 64;
+      core_.relax(pause * core_.chip().config().core_cycle_ps());
+    }
+  }
+}
+
+}  // namespace msvm::mbox

@@ -1,0 +1,179 @@
+// Reimplementation of the RCCE subset MetalSVM builds on, plus the iRCCE
+// non-blocking extension used as the paper's message-passing baseline
+// (Figure 9's "iRCCE variant").
+//
+// RCCE (Mattson & van der Wijngaart) is Intel's bare-metal communication
+// library for the SCC. The two-sided protocol is the classic MPB pipeline:
+// the sender copies a chunk into its *own* MPB communication buffer and
+// raises a `sent` flag in the receiver's MPB; the receiver copies the
+// chunk out of the sender's MPB and raises an `ack` flag back in the
+// sender's MPB. Flags are always *polled locally* (each side spins on a
+// flag inside its own MPB), which is what made RCCE efficient on the SCC.
+//
+// iRCCE adds non-blocking isend/irecv with a progress engine; both sides
+// must still drive the transfer ("working coevally in a non-blocking but
+// synchronizing manner", Section 5) — the asynchrony the mailbox system
+// adds is exactly what this layer lacks, which is the paper's argument
+// for building the mailbox at all.
+//
+// MPB sub-layout within the RCCE share [kRcceOffset, 8192):
+//   +0    .. +4096 : communication buffer (one in-flight chunk)
+//   +4096 .. +4144 : sent flags, byte per source core
+//   +4144 .. +4192 : ack flags, byte per destination core
+//   +4192 .. +4240 : barrier arrival bytes (master-resident)
+//   +4240 .. +4241 : barrier release byte
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "mailbox/layout.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::rcce {
+
+inline constexpr u32 kChunkBytes = 4096;
+inline constexpr u32 kCommBufOffset = mbox::kRcceOffset;
+inline constexpr u32 kSentFlagsOffset = kCommBufOffset + kChunkBytes;
+inline constexpr u32 kAckFlagsOffset = kSentFlagsOffset + mbox::kMaxCores;
+inline constexpr u32 kBarrierArriveOffset =
+    kAckFlagsOffset + mbox::kMaxCores;
+inline constexpr u32 kBarrierReleaseOffset =
+    kBarrierArriveOffset + mbox::kMaxCores;
+
+struct RcceStats {
+  u64 sends = 0;
+  u64 recvs = 0;
+  u64 bytes_sent = 0;
+  u64 bytes_received = 0;
+  u64 chunks = 0;
+  u64 barriers = 0;
+  u64 flag_polls = 0;
+};
+
+/// Per-core RCCE endpoint over a communication domain (a list of member
+/// cores, identical on every participant; rank = index in that list).
+class Rcce {
+ public:
+  Rcce(kernel::Kernel& kernel, std::vector<int> members);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  int core_of(int rank) const {
+    return members_[static_cast<std::size_t>(rank)];
+  }
+
+  // ---- one-sided (RCCE_put / RCCE_get) ----
+
+  /// Copies `bytes` from local (virtual) memory into `target_rank`'s MPB
+  /// communication buffer at `mpb_off`.
+  void put(int target_rank, u32 mpb_off, u64 src_vaddr, u32 bytes);
+
+  /// Copies `bytes` from `source_rank`'s MPB communication buffer into
+  /// local (virtual) memory.
+  void get(u64 dst_vaddr, int source_rank, u32 mpb_off, u32 bytes);
+
+  // ---- two-sided blocking (RCCE_send / RCCE_recv) ----
+
+  void send(u64 src_vaddr, u32 bytes, int dest_rank);
+  void recv(u64 dst_vaddr, u32 bytes, int source_rank);
+
+  // ---- iRCCE non-blocking extension ----
+
+  class Request {
+   public:
+    bool done() const { return done_; }
+
+   private:
+    friend class Rcce;
+    bool is_send_ = false;
+    int peer_rank_ = -1;  // dest for send, source for recv
+    u64 vaddr_ = 0;
+    u32 bytes_ = 0;
+    u32 progress_ = 0;  // bytes fully transferred
+    bool active_ = false;  // head of its channel queue
+    bool chunk_in_flight_ = false;  // send: chunk deposited, awaiting ack
+    bool done_ = false;
+  };
+
+  using RequestHandle = std::shared_ptr<Request>;
+
+  RequestHandle isend(u64 src_vaddr, u32 bytes, int dest_rank);
+  RequestHandle irecv(u64 dst_vaddr, u32 bytes, int source_rank);
+
+  /// Advances every in-flight request as far as currently possible
+  /// without blocking. Returns true if any progress was made.
+  bool progress();
+
+  /// Blocks (driving progress and yielding) until `req` completes.
+  void wait(const RequestHandle& req);
+
+  /// Waits for all listed requests.
+  void wait_all(const std::vector<RequestHandle>& reqs);
+
+  // ---- collectives ----
+
+  /// Master-gather / release barrier with sense reversal, flags in MPB.
+  void barrier();
+
+  /// Root's buffer is replicated to all members (chunked through send).
+  void bcast(u64 vaddr, u32 bytes, int root_rank);
+
+  enum class ReduceOp { kSum, kMin, kMax };
+
+  /// Element-wise reduction of every member's buffer into the root's
+  /// buffer (non-roots' buffers are unchanged). T: double, u64 or i32.
+  template <typename T>
+  void reduce(u64 vaddr, u32 count, ReduceOp op, int root_rank);
+
+  /// reduce() followed by bcast(): every member ends with the result.
+  template <typename T>
+  void allreduce(u64 vaddr, u32 count, ReduceOp op);
+
+  /// Root collects `bytes_each` from every member, rank-ordered, into
+  /// its buffer at `dst_vaddr` (size() * bytes_each bytes).
+  void gather(u64 src_vaddr, u32 bytes_each, u64 dst_vaddr,
+              int root_rank);
+
+  /// Root distributes rank-ordered slices of `src_vaddr` to everyone.
+  void scatter(u64 src_vaddr, u32 bytes_each, u64 dst_vaddr,
+               int root_rank);
+
+  const RcceStats& stats() const { return stats_; }
+
+ private:
+  u64 mpb_paddr(int core, u32 off) const;
+  u8 mpb_read8(int core, u32 off);
+  void mpb_write8(int core, u32 off, u8 v);
+
+  /// Lazily-allocated private staging buffer for collectives.
+  u64 scratch_vaddr(u32 bytes);
+
+  /// Spins until this core's own MPB byte at `off` equals `v`, then
+  /// resets it to 0. Local poll, as RCCE flags are designed to be.
+  void wait_own_flag(u32 off, u8 v);
+
+  // Progress sub-steps; return true when they moved a request forward.
+  bool progress_send(Request& req);
+  bool progress_recv(Request& req);
+  void activate_heads();
+
+  kernel::Kernel& kernel_;
+  scc::Core& core_;
+  std::vector<int> members_;
+  int rank_ = -1;
+  RcceStats stats_;
+
+  // FIFO of pending sends (they share the single comm buffer) and of
+  // pending receives per source rank (channel order must match).
+  std::deque<RequestHandle> send_queue_;
+  std::vector<std::deque<RequestHandle>> recv_queues_;  // by source rank
+  u8 barrier_sense_ = 1;
+  u64 scratch_ = 0;
+  u32 scratch_bytes_ = 0;
+};
+
+}  // namespace msvm::rcce

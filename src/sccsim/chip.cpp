@@ -1,0 +1,59 @@
+#include "sccsim/chip.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace msvm::scc {
+
+Chip::Chip(ChipConfig cfg)
+    : cfg_(cfg),
+      memory_(cfg_),
+      latency_(cfg_),
+      gic_(cfg_.num_cores),
+      mc_busy_until_(Mesh::kNumMemControllers, 0) {
+  assert(cfg_.num_cores >= 1 && cfg_.num_cores <= Mesh::kMaxCores);
+  assert(cfg_.line_bytes <= 64);
+  cores_.reserve(static_cast<std::size_t>(cfg_.num_cores));
+  for (int i = 0; i < cfg_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(*this, i));
+  }
+  // IPIs must pull a halted core out of its sleep: route GIC raises to the
+  // scheduler wake of the target actor, delayed by the wire latency.
+  gic_.wake_fn = [this](int target, TimePs at) {
+    sim::Actor* actor = core(target).actor();
+    if (actor != nullptr) {
+      sched_.wake(*actor, at + cfg_.ipi_wire_ps);
+    }
+  };
+}
+
+void Chip::spawn_program(int core_id, std::function<void(Core&)> fn) {
+  Core& c = core(core_id);
+  assert(c.actor() == nullptr && "core already has a program");
+  sim::Actor& actor = sched_.spawn(
+      "core" + std::to_string(core_id),
+      [this, core_id, fn = std::move(fn)] {
+        Core& self = core(core_id);
+        fn(self);
+        if (self.now() > makespan_) makespan_ = self.now();
+      });
+  c.bind_actor(&actor);
+}
+
+void Chip::run() { sched_.run(); }
+
+TimePs Chip::mc_queue_delay(int mc, TimePs t) {
+  if (!cfg_.mc_contention) return 0;
+  auto& busy = mc_busy_until_[static_cast<std::size_t>(mc)];
+  const TimePs start = busy > t ? busy : t;
+  busy = start + latency_.mc_service();
+  return start - t;
+}
+
+CoreCounters Chip::total_counters() const {
+  CoreCounters total;
+  for (const auto& c : cores_) total += c->counters();
+  return total;
+}
+
+}  // namespace msvm::scc

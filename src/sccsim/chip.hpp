@@ -1,0 +1,67 @@
+// The simulated SCC chip: cores, memory, mesh latency model, GIC, TAS
+// registers, the discrete-event scheduler, and the optional memory-
+// controller contention model. One Chip instance is one simulation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sccsim/addrmap.hpp"
+#include "sccsim/config.hpp"
+#include "sccsim/core.hpp"
+#include "sccsim/counters.hpp"
+#include "sccsim/gic.hpp"
+#include "sccsim/latency.hpp"
+#include "sccsim/memory.hpp"
+#include "sccsim/mesh.hpp"
+#include "sim/scheduler.hpp"
+
+namespace msvm::scc {
+
+class Chip {
+ public:
+  explicit Chip(ChipConfig cfg);
+
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+
+  const ChipConfig& config() const { return cfg_; }
+  const AddrMap& map() const { return memory_.map(); }
+  Memory& memory() { return memory_; }
+  const LatencyModel& latency() const { return latency_; }
+  Gic& gic() { return gic_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+  int num_cores() const { return cfg_.num_cores; }
+  Core& core(int i) { return *cores_.at(static_cast<std::size_t>(i)); }
+
+  /// Registers the SPMD program to run on `core_id`. Must be called for
+  /// every participating core before run().
+  void spawn_program(int core_id, std::function<void(Core&)> fn);
+
+  /// Runs the simulation until every spawned program finishes.
+  void run();
+
+  /// Extra queueing delay at memory controller `mc` for a transaction
+  /// issued at time `t` (zero unless mc_contention is enabled).
+  TimePs mc_queue_delay(int mc, TimePs t);
+
+  /// Sum of all cores' counters.
+  CoreCounters total_counters() const;
+
+  /// Latest virtual completion time across all spawned programs.
+  TimePs makespan() const { return makespan_; }
+
+ private:
+  ChipConfig cfg_;
+  Memory memory_;
+  LatencyModel latency_;
+  Gic gic_;
+  sim::Scheduler sched_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<TimePs> mc_busy_until_;
+  TimePs makespan_ = 0;
+};
+
+}  // namespace msvm::scc

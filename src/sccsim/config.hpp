@@ -1,0 +1,82 @@
+// Chip-level configuration for the simulated Intel SCC.
+//
+// Defaults follow the paper's test platform (Section 7): 48 P54C cores at
+// 533 MHz, mesh and DDR3-800 memory at 800 MHz, 16 KiB L1, 256 KiB L2,
+// 8 KiB on-die message-passing buffer (MPB) per core, 32-byte cache lines,
+// four on-die memory controllers.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+struct ChipConfig {
+  // ---- topology ----
+  int num_cores = 48;   // <= 48 (6x4 mesh of tiles, 2 cores/tile)
+  u32 core_mhz = 533;   // paper's benchmark configuration
+  u32 mesh_mhz = 800;
+  u32 dram_mhz = 800;
+
+  // ---- memory sizes ----
+  u64 shared_dram_bytes = 64ull << 20;   // shared off-die region
+  u64 private_dram_bytes = 8ull << 20;   // per-core private region
+  u32 page_bytes = 4096;
+  u32 line_bytes = 32;                   // P54C cache line
+  u32 mpb_bytes = 8192;                  // on-die MPB per core
+
+  // ---- caches ----
+  u32 l1_bytes = 16 * 1024;
+  u32 l1_assoc = 2;
+  u32 l2_bytes = 256 * 1024;
+  u32 l2_assoc = 4;
+
+  // ---- core latencies, in *core* cycles unless stated ----
+  u32 l1_hit_cycles = 1;
+  u32 l2_hit_cycles = 18;          // SCC programmer's guide approximation
+  u32 mpb_base_cycles = 15;        // on-die MPB access, excluding hops
+  // Loads stall for the full round trip (load-to-use): core-side share
+  // plus mesh plus the DRAM access itself. ~270 ns at the default
+  // frequencies, within the measured range for uncached DDR3-800 reads
+  // on the SCC (the EAS quotes 46 DRAM cycles for the array access alone;
+  // bank/page management and clock-domain crossings add the rest).
+  u32 dram_core_cycles = 60;       // core-side share of a DRAM *read*
+  u32 dram_mem_cycles = 110;       // DRAM-side share, in *DRAM* cycles
+  // Stores are posted: the core hands the write to the mesh interface and
+  // continues; the charged cost is the issue occupancy, not the round
+  // trip. (Sustained store streams are additionally throttled by the
+  // optional memory-controller contention model.)
+  u32 dram_store_core_cycles = 20;
+  u32 dram_store_mem_cycles = 16;
+  u32 mesh_hop_cycles = 4;         // per hop, per direction, *mesh* cycles
+  u32 tas_base_cycles = 15;        // Test-and-Set register access
+  u32 gic_base_cycles = 25;        // system-FPGA register access
+  u32 cl1invmb_cycles = 8;         // tag sweep of MPBT-typed L1 lines
+  u32 wcb_merge_cycles = 1;        // store absorbed by the combine buffer
+  u32 store_hit_cycles = 1;        // write-through update of a present line
+  u32 irq_entry_cycles = 400;      // interrupt entry: vector + kernel prologue
+  u32 irq_exit_cycles = 200;
+  // P54C data TLB: 64 entries; a miss walks the two-level page table
+  // (two memory references, mostly cache-resident on the real part).
+  u32 tlb_entries = 64;            // direct-mapped on the page number
+  u32 tlb_miss_cycles = 28;
+
+  // ---- interrupt / scheduling model ----
+  u64 timer_period_us = 1000;      // periodic timer tick per core
+  u32 boundary_check_cycles = 128; // interrupt-delivery granularity
+  u64 ipi_wire_ps = 100 * 1000;    // GIC-to-core wire/propagation delay
+
+  // ---- optional memory-controller contention (queueing) model ----
+  bool mc_contention = false;
+  u32 mc_service_mesh_cycles = 8;  // bus occupancy per 32-byte transaction
+
+  // ---- derived helpers ----
+  TimePs core_cycle_ps() const { return cycle_ps_from_mhz(core_mhz); }
+  TimePs mesh_cycle_ps() const { return cycle_ps_from_mhz(mesh_mhz); }
+  TimePs dram_cycle_ps() const { return cycle_ps_from_mhz(dram_mhz); }
+
+  u64 num_shared_pages() const { return shared_dram_bytes / page_bytes; }
+};
+
+}  // namespace msvm::scc

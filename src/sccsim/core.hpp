@@ -1,0 +1,222 @@
+// One simulated SCC core: the P54C-style memory pipeline (L1, L2, write-
+// combine buffer, page-table translation) plus interrupt delivery and the
+// binding to its scheduler actor.
+//
+// Two access planes are exposed:
+//   - vload/vstore/vread/vwrite: *virtual* addresses, translated through
+//     this core's private page table; a missing/forbidden mapping vectors
+//     into the registered fault handler (the SVM layer) exactly like a
+//     hardware page fault, at any call depth.
+//   - pread/pwrite: *physical* addresses with an explicit memory policy;
+//     this is the plane kernel code (mailboxes, scratchpad, owner vector)
+//     uses, mirroring MetalSVM's kernel running on identity mappings.
+//
+// All latency accounting funnels through tick(), which also delivers
+// timer/IPI interrupts at access boundaries and bounds virtual-time skew
+// between cores via the scheduler's maybe_yield.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "sccsim/cache.hpp"
+#include "sccsim/config.hpp"
+#include "sccsim/counters.hpp"
+#include "sccsim/pagetable.hpp"
+#include "sccsim/wcb.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+class Chip;
+
+/// How an access moves through the cache hierarchy.
+enum class MemPolicy : u8 {
+  kUncached,   // straight to the device, no caching
+  kMpbt,       // MPBT type: L1 write-through + WCB, bypasses L2
+  kCachedWT,   // L1 + L2, write-through, read-allocate only
+};
+
+class Core {
+ public:
+  Core(Chip& chip, int id);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  int id() const { return id_; }
+  Chip& chip() { return chip_; }
+
+  // ---- virtual-address (application) plane ----
+
+  template <typename T>
+  T vload(u64 vaddr) {
+    T out;
+    vread(vaddr, &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void vstore(u64 vaddr, T value) {
+    vwrite(vaddr, &value, sizeof(T));
+  }
+
+  void vread(u64 vaddr, void* out, u32 size);
+  void vwrite(u64 vaddr, const void* src, u32 size);
+
+  // ---- physical (kernel) plane ----
+
+  template <typename T>
+  T pload(u64 paddr, MemPolicy pol) {
+    T out;
+    pread(paddr, &out, sizeof(T), pol);
+    return out;
+  }
+
+  template <typename T>
+  void pstore(u64 paddr, T value, MemPolicy pol) {
+    pwrite(paddr, &value, sizeof(T), pol);
+  }
+
+  void pread(u64 paddr, void* out, u32 size, MemPolicy pol);
+  void pwrite(u64 paddr, const void* src, u32 size, MemPolicy pol);
+
+  // ---- special instructions / registers ----
+
+  /// CL1INVMB: invalidates every MPBT-tagged L1 line.
+  void cl1invmb();
+
+  /// Drains the write-combine buffer to memory.
+  void flush_wcb();
+
+  /// One attempt on the Test-and-Set register `reg` (a read): true when
+  /// the lock was free and is now held by this core.
+  bool tas_try_acquire(int reg);
+
+  /// Releases Test-and-Set register `reg` (a write).
+  void tas_release(int reg);
+
+  /// Raises an IPI on `target` through the Global Interrupt Controller.
+  void raise_ipi(int target);
+
+  // ---- time ----
+
+  TimePs now() const { return actor_->clock(); }
+
+  /// Charges pure compute time (ALU/FPU work between memory accesses).
+  void compute_cycles(u64 core_cycles);
+
+  /// Cooperatively yields to earlier cores (cheap when already earliest).
+  void yield();
+
+  /// Halts until the next interrupt (IPI or timer) is delivered, then
+  /// returns. Models the kernel idle "hlt".
+  void halt();
+
+  /// Sleeps for `gap` of virtual time (or until an IPI arrives, whichever
+  /// is first), then delivers pending interrupts. Used by spin loops as a
+  /// scheduler-friendly backoff: semantically a bounded pause, but it
+  /// releases the host scheduler instead of churning through yields.
+  void relax(TimePs gap);
+
+  // ---- kernel integration ----
+
+  using FaultHandler = std::function<void(Core&, u64 vaddr, bool is_write)>;
+  using TimerHandler = std::function<void(Core&)>;
+  using IpiHandler = std::function<void(Core&, u64 source_mask)>;
+
+  void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
+  void set_timer_handler(TimerHandler h) { timer_handler_ = std::move(h); }
+  void set_ipi_handler(IpiHandler h) { ipi_handler_ = std::move(h); }
+
+  bool in_interrupt() const { return in_irq_; }
+
+  /// Masks interrupt delivery (cli/sti, nestable). A delivery opportunity
+  /// that passes while masked fires at the final irq_enable(), like a
+  /// pending interrupt after sti. Used to make memory-access commits and
+  /// mailbox slot claims atomic against handlers, the way instructions
+  /// are on real hardware.
+  void irq_disable() { ++irq_mask_depth_; }
+  void irq_enable();
+  bool irqs_masked() const { return irq_mask_depth_ > 0; }
+
+  PageTable& pagetable() { return pagetable_; }
+  const PageTable& pagetable() const { return pagetable_; }
+  CoreCounters& counters() { return counters_; }
+  const CoreCounters& counters() const { return counters_; }
+  Cache& l1() { return l1_; }
+  Cache& l2() { return l2_; }
+  WriteCombineBuffer& wcb() { return wcb_; }
+
+  /// Scheduler binding (installed by Chip::spawn_program).
+  void bind_actor(sim::Actor* actor);
+  sim::Actor* actor() { return actor_; }
+
+  /// Charges `cost` picoseconds and performs boundary work (interrupt
+  /// delivery, cooperative yield) when due. Public so that higher layers
+  /// (mailbox slot checks, kernel entry costs) can charge modelled
+  /// software overheads.
+  void tick(TimePs cost);
+
+ private:
+  // Translation outcome for one access segment.
+  struct Translation {
+    u64 paddr;
+    MemPolicy policy;
+  };
+
+  Translation translate(u64 vaddr, bool is_write);
+  static MemPolicy policy_of(const Pte& pte);
+
+  void read_path(u64 paddr, void* out, u32 size, MemPolicy pol);
+  void write_path(u64 paddr, const void* src, u32 size, MemPolicy pol);
+
+  /// One device transaction (<= one line). Returns its latency.
+  TimePs device_read(u64 paddr, void* out, u32 size);
+  TimePs device_write(u64 paddr, const void* src, u32 size);
+  TimePs device_write_masked(u64 paddr, const void* src, u32 size,
+                             u64 mask);
+  TimePs device_latency(u64 paddr, bool is_write);
+
+  void deliver_interrupts();
+  void deliver_deferred();
+  void boundary();
+
+  Chip& chip_;
+  const ChipConfig& cfg_;
+  int id_;
+  sim::Actor* actor_ = nullptr;
+
+  Cache l1_;
+  Cache l2_;
+  WriteCombineBuffer wcb_;
+  PageTable pagetable_;
+  CoreCounters counters_;
+
+  FaultHandler fault_handler_;
+  TimerHandler timer_handler_;
+  IpiHandler ipi_handler_;
+
+  bool in_irq_ = false;
+  bool pending_irq_check_ = false;
+  int irq_mask_depth_ = 0;
+  TimePs next_timer_ = 0;
+  TimePs next_boundary_ = 0;
+  TimePs timer_period_ps_ = 0;
+  TimePs boundary_interval_ps_ = 0;
+
+  // Host-side translation cache (zero simulated cost): direct-mapped on
+  // vpage, invalidated wholesale whenever the page table's epoch moves.
+  struct TlbEntry {
+    u64 vpage = ~u64{0};
+    Pte pte;
+  };
+  static constexpr std::size_t kTlbEntries = 64;
+  std::array<TlbEntry, kTlbEntries> tlb_;
+  u64 tlb_epoch_ = ~u64{0};
+};
+
+}  // namespace msvm::scc

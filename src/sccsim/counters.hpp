@@ -1,0 +1,83 @@
+// Per-core performance counters. Incremented on the simulator's hot paths
+// and reported by the benchmark harnesses (e.g. the "two page faults per
+// iteration" claim of Section 7.2.2 is validated from these).
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+struct CoreCounters {
+  // memory traffic
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 l1_hits = 0;
+  u64 l1_misses = 0;
+  u64 l2_hits = 0;
+  u64 l2_misses = 0;
+  u64 wcb_merges = 0;
+  u64 wcb_flushes = 0;
+  u64 dram_reads = 0;
+  u64 dram_writes = 0;
+  u64 mpb_reads = 0;
+  u64 mpb_writes = 0;
+  u64 uncached_ops = 0;
+  u64 cl1invmb_count = 0;
+  u64 tlb_hits = 0;
+  u64 tlb_misses = 0;
+
+  // synchronisation
+  u64 tas_acquires = 0;
+  u64 tas_spins = 0;
+
+  // faults & interrupts
+  u64 page_faults = 0;
+  u64 timer_irqs = 0;
+  u64 ipi_irqs = 0;
+  u64 ipis_sent = 0;
+
+  // virtual-time breakdown (picoseconds)
+  TimePs busy_ps = 0;
+
+  /// Applies `op` to every field pair; single source of truth for the
+  /// field list used by both aggregation and differencing.
+  template <typename Op>
+  void combine(const CoreCounters& o, Op op) {
+    op(loads, o.loads);
+    op(stores, o.stores);
+    op(l1_hits, o.l1_hits);
+    op(l1_misses, o.l1_misses);
+    op(l2_hits, o.l2_hits);
+    op(l2_misses, o.l2_misses);
+    op(wcb_merges, o.wcb_merges);
+    op(wcb_flushes, o.wcb_flushes);
+    op(dram_reads, o.dram_reads);
+    op(dram_writes, o.dram_writes);
+    op(mpb_reads, o.mpb_reads);
+    op(mpb_writes, o.mpb_writes);
+    op(uncached_ops, o.uncached_ops);
+    op(cl1invmb_count, o.cl1invmb_count);
+    op(tlb_hits, o.tlb_hits);
+    op(tlb_misses, o.tlb_misses);
+    op(tas_acquires, o.tas_acquires);
+    op(tas_spins, o.tas_spins);
+    op(page_faults, o.page_faults);
+    op(timer_irqs, o.timer_irqs);
+    op(ipi_irqs, o.ipi_irqs);
+    op(ipis_sent, o.ipis_sent);
+    op(busy_ps, o.busy_ps);
+  }
+
+  CoreCounters& operator+=(const CoreCounters& o) {
+    combine(o, [](u64& a, const u64& b) { a += b; });
+    return *this;
+  }
+
+  CoreCounters operator-(const CoreCounters& o) const {
+    CoreCounters d = *this;
+    d.combine(o, [](u64& a, const u64& b) { a -= b; });
+    return d;
+  }
+};
+
+}  // namespace msvm::scc

@@ -1,0 +1,58 @@
+// Global Interrupt Controller (GIC).
+//
+// Since sccKit 1.4.0 the SCC's system FPGA hosts a GIC through which a
+// core can raise an inter-processor interrupt on another core *and* the
+// receiver can query which core raised it (Section 5). That source
+// information is what lets the IPI-driven mailbox check exactly one
+// receive slot instead of scanning all of them.
+//
+// The GIC itself is functional state (pending-source bitmasks); the
+// register-access latency is charged by the accessing Core, and target
+// wake-up is delegated to the Chip via `wake_fn` so a halted core resumes
+// when the interrupt arrives.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+class Gic {
+ public:
+  explicit Gic(int num_cores)
+      : pending_(static_cast<std::size_t>(num_cores), 0) {}
+
+  /// Callback installed by the Chip: wake `target`'s actor at time `at`.
+  std::function<void(int target, TimePs at)> wake_fn;
+
+  /// Raises an IPI on `target`, recording `source` in the pending mask.
+  /// `at` is the sender-side time of the GIC register write; the target
+  /// observes the interrupt no earlier than `at` plus the wire delay the
+  /// Chip folds into wake_fn.
+  void raise(int target, int source, TimePs at) {
+    assert(target >= 0 &&
+           static_cast<std::size_t>(target) < pending_.size());
+    pending_[static_cast<std::size_t>(target)] |= u64{1} << source;
+    if (wake_fn) wake_fn(target, at);
+  }
+
+  bool has_pending(int core) const {
+    return pending_[static_cast<std::size_t>(core)] != 0;
+  }
+
+  /// Atomically fetches and clears the pending-source bitmask — the
+  /// "which core raised it" status read of the sccKit GIC.
+  u64 take_pending(int core) {
+    const u64 mask = pending_[static_cast<std::size_t>(core)];
+    pending_[static_cast<std::size_t>(core)] = 0;
+    return mask;
+  }
+
+ private:
+  std::vector<u64> pending_;
+};
+
+}  // namespace msvm::scc

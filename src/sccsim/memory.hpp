@@ -1,0 +1,122 @@
+// Backing storage for every addressable resource on the simulated chip:
+// off-die DRAM (shared + private), the per-core on-die MPBs, and the
+// per-core Test-and-Set registers. This class is purely functional — all
+// latency accounting happens in Core — but it is the single source of
+// truth for data, which is what makes the simulated incoherence real:
+// caches keep (possibly stale) copies, this is the memory they drift from.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "sccsim/addrmap.hpp"
+#include "sccsim/config.hpp"
+#include "sccsim/mesh.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+class Memory {
+ public:
+  explicit Memory(const ChipConfig& cfg)
+      : cfg_(cfg),
+        map_(cfg),
+        shared_(cfg.shared_dram_bytes, 0),
+        private_(static_cast<std::size_t>(cfg.num_cores) *
+                     cfg.private_dram_bytes,
+                 0),
+        mpb_(static_cast<std::size_t>(cfg.num_cores) * cfg.mpb_bytes, 0),
+        // The Test-and-Set register file is a fixed hardware resource of
+        // the full die, independent of how many cores run programs.
+        tas_(static_cast<std::size_t>(Mesh::kMaxCores), 0) {}
+
+  const AddrMap& map() const { return map_; }
+
+  /// Raw read of up to an arbitrary number of bytes. The range must lie
+  /// within a single device region.
+  void read(u64 paddr, void* out, u32 size) const {
+    const u8* src = locate(paddr, size);
+    std::memcpy(out, src, size);
+  }
+
+  void write(u64 paddr, const void* data, u32 size) {
+    u8* dst = locate(paddr, size);
+    std::memcpy(dst, data, size);
+  }
+
+  /// Write only the bytes selected by `mask` (bit i covers byte i). Used
+  /// by write-combine-buffer flushes so a partially-dirty line does not
+  /// clobber bytes another core wrote meanwhile.
+  void write_masked(u64 paddr, const void* data, u32 size, u64 mask) {
+    u8* dst = locate(paddr, size);
+    const u8* src = static_cast<const u8*>(data);
+    for (u32 i = 0; i < size; ++i) {
+      if (mask & (u64{1} << i)) dst[i] = src[i];
+    }
+  }
+
+  /// Atomic Test-and-Set register, SCC semantics: reading the register
+  /// returns its previous value and sets it to 1; writing clears it.
+  /// Returns true if the lock was acquired (previous value was 0).
+  bool tas_read_acquire(int core) {
+    const u64 prev = tas_.at(static_cast<std::size_t>(core));
+    tas_[static_cast<std::size_t>(core)] = 1;
+    return prev == 0;
+  }
+
+  void tas_write_release(int core) {
+    tas_.at(static_cast<std::size_t>(core)) = 0;
+  }
+
+  u64 tas_peek(int core) const {
+    return tas_.at(static_cast<std::size_t>(core));
+  }
+
+ private:
+  const u8* locate(u64 paddr, u32 size) const {
+    return const_cast<Memory*>(this)->locate(paddr, size);
+  }
+
+  u8* locate(u64 paddr, u32 size) {
+    const PhysTarget t = map_.decode(paddr);
+    switch (t.kind) {
+      case MemKind::kSharedDram:
+        bounds_check(t.offset, size, shared_.size());
+        return shared_.data() + t.offset;
+      case MemKind::kPrivateDram:
+        bounds_check(t.offset, size, private_.size());
+        return private_.data() + t.offset;
+      case MemKind::kMpb:
+        bounds_check(static_cast<u64>(t.owner) * cfg_.mpb_bytes + t.offset,
+                     size, mpb_.size());
+        return mpb_.data() + static_cast<u64>(t.owner) * cfg_.mpb_bytes +
+               t.offset;
+      case MemKind::kTas:
+      case MemKind::kInvalid:
+        break;
+    }
+    std::fprintf(stderr,
+                 "msvm::scc::Memory: invalid physical access at 0x%llx\n",
+                 static_cast<unsigned long long>(paddr));
+    std::abort();
+  }
+
+  static void bounds_check(u64 offset, u32 size, std::size_t limit) {
+    if (offset + size > limit) {
+      std::fprintf(stderr,
+                   "msvm::scc::Memory: access beyond device bounds\n");
+      std::abort();
+    }
+  }
+
+  const ChipConfig& cfg_;
+  AddrMap map_;
+  std::vector<u8> shared_;
+  std::vector<u8> private_;
+  std::vector<u8> mpb_;
+  std::vector<u64> tas_;
+};
+
+}  // namespace msvm::scc

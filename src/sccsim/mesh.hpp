@@ -1,0 +1,93 @@
+// SCC on-die mesh topology: 6x4 tiles, two cores per tile, four memory
+// controllers attached at the mesh edges (tiles (0,0), (0,2), (5,0),
+// (5,2)), and the system interface FPGA (hosting the Global Interrupt
+// Controller) at router (3,0). Routing is dimension-ordered (X then Y), so
+// the latency-relevant quantity is simply the Manhattan distance.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdlib>
+
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+struct TileCoord {
+  int x = 0;
+  int y = 0;
+  bool operator==(const TileCoord&) const = default;
+};
+
+class Mesh {
+ public:
+  static constexpr int kCols = 6;
+  static constexpr int kRows = 4;
+  static constexpr int kTiles = kCols * kRows;
+  static constexpr int kCoresPerTile = 2;
+  static constexpr int kMaxCores = kTiles * kCoresPerTile;
+  static constexpr int kNumMemControllers = 4;
+
+  /// Tile hosting a given core. Cores are numbered as on the SCC: core c
+  /// lives on tile c/2.
+  static int tile_of_core(int core) {
+    assert(core >= 0 && core < kMaxCores);
+    return core / kCoresPerTile;
+  }
+
+  static TileCoord coord_of_tile(int tile) {
+    assert(tile >= 0 && tile < kTiles);
+    return TileCoord{tile % kCols, tile / kCols};
+  }
+
+  static TileCoord coord_of_core(int core) {
+    return coord_of_tile(tile_of_core(core));
+  }
+
+  /// Manhattan distance between two tiles (XY routing).
+  static int hops(TileCoord a, TileCoord b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  }
+
+  static int hops_between_cores(int a, int b) {
+    return hops(coord_of_core(a), coord_of_core(b));
+  }
+
+  /// Tiles at which the four DDR3 memory controllers attach.
+  static TileCoord mem_controller_coord(int mc) {
+    assert(mc >= 0 && mc < kNumMemControllers);
+    static constexpr std::array<TileCoord, 4> kMcTiles = {
+        TileCoord{0, 0}, TileCoord{5, 0}, TileCoord{0, 2}, TileCoord{5, 2}};
+    return kMcTiles[static_cast<std::size_t>(mc)];
+  }
+
+  /// Router where the system interface (FPGA / GIC) attaches.
+  static TileCoord system_interface_coord() { return TileCoord{3, 0}; }
+
+  /// Memory controller closest to a core (ties broken by lower MC id);
+  /// used for affinity-on-first-touch frame placement and for the
+  /// private-region placement of each core.
+  static int nearest_mc(int core) {
+    const TileCoord c = coord_of_core(core);
+    int best = 0;
+    int best_hops = hops(c, mem_controller_coord(0));
+    for (int mc = 1; mc < kNumMemControllers; ++mc) {
+      const int h = hops(c, mem_controller_coord(mc));
+      if (h < best_hops) {
+        best = mc;
+        best_hops = h;
+      }
+    }
+    return best;
+  }
+
+  static int hops_core_to_mc(int core, int mc) {
+    return hops(coord_of_core(core), mem_controller_coord(mc));
+  }
+
+  static int hops_core_to_system_if(int core) {
+    return hops(coord_of_core(core), system_interface_coord());
+  }
+};
+
+}  // namespace msvm::scc

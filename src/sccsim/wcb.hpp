@@ -1,0 +1,104 @@
+// The SCC's write-combine buffer (WCB): one cache line of write-through
+// data per core, enabled for pages tagged with the MPBT memory type.
+//
+// The WCB turns the P54C's byte-granular write-through stream into
+// line-granular transactions: stores to the same line merge in the buffer;
+// a store touching a different line (or an explicit flush) writes the
+// buffered bytes downstream in a single transaction. Section 3 of the
+// paper calls this "extremely useful to increase the bandwidth" for the
+// SVM write path; bench/ablation_wcb quantifies it.
+//
+// Only the dirty bytes are written on flush (a byte mask is kept) so a
+// partially-written line cannot clobber bytes another core produced — an
+// invariant tests/sccsim/wcb_test.cpp checks explicitly.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace msvm::scc {
+
+class WriteCombineBuffer {
+ public:
+  explicit WriteCombineBuffer(u32 line_bytes)
+      : line_bytes_(line_bytes), data_(line_bytes, 0) {
+    assert(line_bytes <= 64 && "dirty mask is a u64 bitmap");
+  }
+
+  struct FlushRequest {
+    u64 line_addr;
+    const u8* data;
+    u32 size;
+    u64 dirty_mask;
+  };
+
+  bool valid() const { return valid_; }
+  u64 line_addr() const { return line_addr_; }
+  u64 dirty_mask() const { return dirty_mask_; }
+
+  /// True when the buffered line overlaps [paddr, paddr+size).
+  bool overlaps(u64 paddr, u32 size) const {
+    if (!valid_) return false;
+    const u64 lo = line_addr_;
+    const u64 hi = line_addr_ + line_bytes_;
+    return paddr < hi && paddr + size > lo;
+  }
+
+  /// Attempts to absorb a store. Returns std::nullopt when the store was
+  /// merged; otherwise returns the flush the caller must perform *before*
+  /// retrying (the buffer holds a different line and must drain first).
+  std::optional<FlushRequest> store(u64 paddr, const void* src, u32 size) {
+    const u64 line = paddr & ~u64{line_bytes_ - 1};
+    assert((paddr & (line_bytes_ - 1)) + size <= line_bytes_ &&
+           "store must not straddle a line");
+    if (valid_ && line != line_addr_) {
+      return take_flush();
+    }
+    if (!valid_) {
+      valid_ = true;
+      line_addr_ = line;
+      dirty_mask_ = 0;
+    }
+    const u32 off = static_cast<u32>(paddr & (line_bytes_ - 1));
+    std::memcpy(data_.data() + off, src, size);
+    for (u32 i = 0; i < size; ++i) dirty_mask_ |= u64{1} << (off + i);
+    return std::nullopt;
+  }
+
+  /// Reads buffered bytes into `out` where dirty; returns true only if
+  /// *all* requested bytes are dirty (fully forwardable).
+  bool forward(u64 paddr, void* out, u32 size) const {
+    if (!overlaps(paddr, size)) return false;
+    const u32 off = static_cast<u32>(paddr & (line_bytes_ - 1));
+    for (u32 i = 0; i < size; ++i) {
+      if (!(dirty_mask_ & (u64{1} << (off + i)))) return false;
+    }
+    std::memcpy(out, data_.data() + off, size);
+    return true;
+  }
+
+  /// Empties the buffer, handing the pending bytes to the caller.
+  /// Returns std::nullopt when there is nothing to flush.
+  std::optional<FlushRequest> flush() {
+    if (!valid_) return std::nullopt;
+    return take_flush();
+  }
+
+ private:
+  FlushRequest take_flush() {
+    valid_ = false;
+    return FlushRequest{line_addr_, data_.data(), line_bytes_, dirty_mask_};
+  }
+
+  u32 line_bytes_;
+  bool valid_ = false;
+  u64 line_addr_ = 0;
+  u64 dirty_mask_ = 0;
+  std::vector<u8> data_;
+};
+
+}  // namespace msvm::scc

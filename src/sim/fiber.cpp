@@ -1,0 +1,126 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace msvm::sim {
+
+namespace {
+
+/// The fiber currently executing on this thread (nullptr in main context).
+/// The whole simulator is single-threaded by design, but thread_local keeps
+/// independent simulations on different host threads (e.g. parallel gtest
+/// shards) from interfering.
+thread_local Fiber* g_current_fiber = nullptr;
+
+}  // namespace
+
+// msvm_fiber_swap(save, load): saves callee-saved registers and the stack
+// pointer into *save, then installs *load as the new stack pointer and
+// restores registers from it. SysV x86-64: rbx, rbp, r12-r15 are the only
+// callee-saved GPRs; xmm registers are caller-saved and the simulator never
+// changes mxcsr/x87 control words.
+extern "C" void msvm_fiber_swap(void** save_rsp, void* const* load_rsp);
+
+asm(R"asm(
+.text
+.globl msvm_fiber_swap
+.type msvm_fiber_swap, @function
+.align 16
+msvm_fiber_swap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq (%rsi), %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+.size msvm_fiber_swap, .-msvm_fiber_swap
+)asm");
+
+Fiber::Fiber(Entry entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  // Round the stack up to whole pages and add one guard page below it.
+  stack_bytes = (stack_bytes + page - 1) / page * page;
+  map_bytes_ = stack_bytes + page;
+  void* map = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED) throw std::bad_alloc{};
+  stack_base_ = map;
+  if (mprotect(map, page, PROT_NONE) != 0) {
+    munmap(map, map_bytes_);
+    throw std::bad_alloc{};
+  }
+
+  // Build the initial frame so that the first msvm_fiber_swap() into this
+  // fiber pops six zeroed callee-saved registers and "returns" into
+  // trampoline(). Layout (low -> high): r15 r14 r13 r12 rbx rbp ret pad.
+  // The pad qword keeps rsp % 16 == 8 at trampoline entry, matching the
+  // SysV alignment contract for a function entered via call/ret.
+  auto top = reinterpret_cast<std::uintptr_t>(map) + map_bytes_;
+  top &= ~std::uintptr_t{15};
+  auto* slots = reinterpret_cast<void**>(top) - 8;
+  for (int i = 0; i < 6; ++i) slots[i] = nullptr;
+  slots[6] = reinterpret_cast<void*>(&Fiber::trampoline);
+  slots[7] = nullptr;
+  fiber_rsp_ = slots;
+}
+
+Fiber::~Fiber() {
+  if (started_ && !finished_) {
+    // Destroying a suspended fiber would leak the objects on its stack.
+    // This indicates a scheduler bug; fail loudly.
+    std::fprintf(stderr,
+                 "msvm::sim::Fiber destroyed while suspended mid-execution\n");
+    std::abort();
+  }
+  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+}
+
+void Fiber::resume() {
+  assert(g_current_fiber == nullptr && "resume() must come from main");
+  assert(!finished_ && "cannot resume a finished fiber");
+  started_ = true;
+  g_current_fiber = this;
+  msvm_fiber_swap(&main_rsp_, &fiber_rsp_);
+  g_current_fiber = nullptr;
+}
+
+void Fiber::yield_to_main() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "yield_to_main() called outside any fiber");
+  msvm_fiber_swap(&self->fiber_rsp_, &self->main_rsp_);
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr);
+  self->entry_();
+  self->finished_ = true;
+  // Release the closure eagerly: it may own captures whose destructors the
+  // caller expects to run when the fiber completes, not when destroyed.
+  self->entry_ = nullptr;
+  Fiber::yield_to_main();
+  // A finished fiber must never be resumed again.
+  std::fprintf(stderr, "msvm::sim::Fiber resumed after completion\n");
+  std::abort();
+}
+
+}  // namespace msvm::sim

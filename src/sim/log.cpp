@@ -1,0 +1,56 @@
+#include "sim/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace msvm::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kError;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void init_log_from_env() {
+  const char* env = std::getenv("MSVM_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) {
+    g_level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0) {
+    g_level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "error") == 0) {
+    g_level = LogLevel::kError;
+  } else if (std::strcmp(env, "none") == 0) {
+    g_level = LogLevel::kNone;
+  }
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kNone:
+      return;
+  }
+  std::fprintf(stderr, "[msvm:%s] ", tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace msvm::sim

@@ -1,0 +1,46 @@
+// Minimal leveled logger for the simulator. Off by default so that the
+// discrete-event hot path stays free of I/O; benchmarks and failing tests
+// turn it on via MSVM_LOG=debug or sim::set_log_level().
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace msvm::sim {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Reads MSVM_LOG (none|error|info|debug) once and installs the level.
+void init_log_from_env();
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define MSVM_LOG_ERROR(...)                                        \
+  do {                                                             \
+    if (::msvm::sim::log_level() >= ::msvm::sim::LogLevel::kError) \
+      ::msvm::sim::detail::vlog(::msvm::sim::LogLevel::kError,     \
+                                __VA_ARGS__);                      \
+  } while (0)
+
+#define MSVM_LOG_INFO(...)                                        \
+  do {                                                            \
+    if (::msvm::sim::log_level() >= ::msvm::sim::LogLevel::kInfo) \
+      ::msvm::sim::detail::vlog(::msvm::sim::LogLevel::kInfo,     \
+                                __VA_ARGS__);                     \
+  } while (0)
+
+#define MSVM_LOG_DEBUG(...)                                        \
+  do {                                                             \
+    if (::msvm::sim::log_level() >= ::msvm::sim::LogLevel::kDebug) \
+      ::msvm::sim::detail::vlog(::msvm::sim::LogLevel::kDebug,     \
+                                __VA_ARGS__);                      \
+  } while (0)
+
+}  // namespace msvm::sim

@@ -1,0 +1,73 @@
+// Deterministic PRNG for workload generation. The simulation itself is
+// fully deterministic (single-threaded discrete-event core), so the only
+// randomness in the system is the one injected by workload generators, and
+// it must be reproducible from a seed across platforms — hence a fixed
+// algorithm (SplitMix64 + xoshiro256**) instead of std::mt19937 whose
+// distributions are implementation-defined.
+#pragma once
+
+#include <array>
+
+#include "sim/types.hpp"
+
+namespace msvm::sim {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  u64 next_below(u64 bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+      const u64 r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 next_range(u64 lo, u64 hi) { return lo + next_below(hi - lo + 1); }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace msvm::sim

@@ -1,0 +1,162 @@
+#include "sim/scheduler.hpp"
+
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace msvm::sim {
+
+Actor::Actor(Scheduler& sched, int id, std::string name,
+             std::function<void()> body, std::size_t stack_bytes)
+    : sched_(sched), id_(id), name_(std::move(name)) {
+  fiber_ = std::make_unique<Fiber>(
+      [this, body = std::move(body)] {
+        try {
+          body();
+        } catch (const CancelledError&) {
+          // Scheduler teardown: unwind quietly so stack objects destruct.
+        }
+        state_ = State::kFinished;
+      },
+      stack_bytes);
+}
+
+Scheduler::~Scheduler() {
+  // Cooperatively cancel any actor that is still suspended mid-execution
+  // (normal completion leaves none). Each resume makes switch_out() throw
+  // CancelledError inside the actor, unwinding its stack.
+  // A never-started fiber has no stack objects and may simply be
+  // destroyed; running its body at teardown would be wrong.
+  cancelling_ = true;
+  for (auto& a : actors_) {
+    if (a->state_ != Actor::State::kFinished && a->fiber_ != nullptr &&
+        a->fiber_->started() && !a->fiber_->finished()) {
+      current_ = a.get();
+      a->fiber_->resume();
+      current_ = nullptr;
+    }
+  }
+}
+
+Actor& Scheduler::spawn(std::string name, std::function<void()> body,
+                        TimePs start, std::size_t stack_bytes) {
+  const int id = static_cast<int>(actors_.size());
+  actors_.push_back(std::unique_ptr<Actor>(
+      new Actor(*this, id, std::move(name), std::move(body), stack_bytes)));
+  Actor& a = *actors_.back();
+  a.clock_ = start;
+  a.state_ = Actor::State::kScheduled;
+  schedule(a, start);
+  return a;
+}
+
+void Scheduler::schedule(Actor& a, TimePs at) {
+  a.generation_ += 1;
+  heap_.push(HeapEntry{at, seq_++, a.generation_, &a});
+}
+
+void Scheduler::run() {
+  assert(current_ == nullptr && "run() is not reentrant");
+  running_ = true;
+  while (finished_count_ < actors_.size()) {
+    // Pop the earliest valid heap entry.
+    Actor* next = nullptr;
+    TimePs at = 0;
+    while (!heap_.empty()) {
+      HeapEntry e = heap_.top();
+      heap_.pop();
+      if (e.generation != e.actor->generation_ ||
+          e.actor->state_ == Actor::State::kFinished) {
+        continue;  // stale entry
+      }
+      next = e.actor;
+      at = e.time;
+      break;
+    }
+    if (next == nullptr) {
+      std::ostringstream oss;
+      oss << "simulated deadlock: all live actors blocked (";
+      for (const auto& a : actors_) {
+        if (a->state_ != Actor::State::kFinished) {
+          oss << a->name() << "@" << a->clock() << "ps ";
+        }
+      }
+      oss << ")";
+      running_ = false;
+      throw DeadlockError(oss.str());
+    }
+
+    // A popped entry for a blocked actor is a timeout firing.
+    next->wake_reason_ = next->state_ == Actor::State::kBlocked
+                             ? WakeReason::kTimeout
+                             : WakeReason::kWoken;
+    next->advance_to(at);
+    next->state_ = Actor::State::kRunning;
+    current_ = next;
+    next->fiber_->resume();
+    current_ = nullptr;
+    if (next->fiber_->finished()) {
+      next->state_ = Actor::State::kFinished;
+      ++finished_count_;
+    }
+  }
+  running_ = false;
+}
+
+void Scheduler::yield() {
+  Actor* self = current_;
+  assert(self != nullptr && "yield() outside an actor");
+  self->state_ = Actor::State::kScheduled;
+  schedule(*self, self->clock_);
+  switch_out();
+}
+
+bool Scheduler::maybe_yield() {
+  Actor* self = current_;
+  assert(self != nullptr);
+  if (!someone_earlier(self->clock_)) return false;
+  yield();
+  return true;
+}
+
+bool Scheduler::someone_earlier(TimePs t) const {
+  // The heap may contain stale entries; a stale top only causes a spurious
+  // yield (harmless: the scheduler discards it and resumes the earliest
+  // real actor, possibly the caller itself).
+  if (heap_.empty()) return false;
+  return heap_.top().time < t;
+}
+
+WakeReason Scheduler::block() {
+  Actor* self = current_;
+  assert(self != nullptr && "block() outside an actor");
+  self->state_ = Actor::State::kBlocked;
+  self->generation_ += 1;  // invalidate any pending heap entry
+  switch_out();
+  return self->wake_reason_;
+}
+
+WakeReason Scheduler::block_until(TimePs deadline) {
+  Actor* self = current_;
+  assert(self != nullptr && "block_until() outside an actor");
+  self->state_ = Actor::State::kBlocked;
+  schedule(*self, deadline);  // timeout entry
+  switch_out();
+  return self->wake_reason_;
+}
+
+void Scheduler::wake(Actor& target, TimePs at) {
+  if (target.state_ != Actor::State::kBlocked) return;
+  target.state_ = Actor::State::kScheduled;
+  schedule(target, at > target.clock_ ? at : target.clock_);
+}
+
+void Scheduler::switch_out() {
+  assert(Fiber::current() != nullptr);
+  Fiber::yield_to_main();
+  // Resumed: scheduler has set state to kRunning and adjusted the clock —
+  // unless this is a teardown resume, which unwinds the actor instead.
+  if (cancelling_) throw CancelledError{};
+}
+
+}  // namespace msvm::sim

@@ -1,0 +1,160 @@
+// Discrete-event scheduler for simulated cores.
+//
+// Every simulated core runs as an Actor: a fiber with a private virtual
+// clock (picoseconds). The scheduler always resumes the schedulable actor
+// with the smallest clock (ties broken by actor id), which makes the whole
+// simulation deterministic and keeps inter-core virtual-time skew bounded
+// by the cores' yield quantum.
+//
+// Actors advance their own clocks while running (plain function calls, no
+// events) and interact with the scheduler only at synchronisation points:
+//   yield()        - reinsert at own clock, let earlier actors run
+//   maybe_yield()  - fast path: switch only if someone is strictly earlier
+//   block()        - suspend until another actor calls wake()
+//   block_until(t) - suspend with a timeout at virtual time t
+//   wake(a, t)     - make a blocked actor schedulable at time >= t
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::sim {
+
+class Scheduler;
+
+/// Why a blocked actor resumed.
+enum class WakeReason { kWoken, kTimeout };
+
+/// A schedulable fiber with a virtual clock.
+class Actor {
+ public:
+  enum class State { kScheduled, kRunning, kBlocked, kFinished };
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  TimePs clock() const { return clock_; }
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::kFinished; }
+
+  /// Advances this actor's clock. Only meaningful while running.
+  void advance(TimePs dt) { clock_ += dt; }
+
+  /// Forces the clock forward to at least `t` (never backwards).
+  void advance_to(TimePs t) {
+    if (t > clock_) clock_ = t;
+  }
+
+ private:
+  friend class Scheduler;
+
+  Actor(Scheduler& sched, int id, std::string name,
+        std::function<void()> body, std::size_t stack_bytes);
+
+  Scheduler& sched_;
+  int id_;
+  std::string name_;
+  TimePs clock_ = 0;
+  State state_ = State::kScheduled;
+  u64 generation_ = 0;  // invalidates stale heap entries
+  WakeReason wake_reason_ = WakeReason::kWoken;
+  std::unique_ptr<Fiber> fiber_;
+};
+
+/// Thrown by Scheduler::run() when every live actor is blocked and no
+/// timeout is pending: the simulated system has deadlocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown inside an actor at its suspension point when the scheduler is
+/// torn down with the actor still live (e.g. after a DeadlockError). The
+/// actor body wrapper catches it, so actor stacks unwind and run their
+/// destructors instead of leaking.
+class CancelledError {};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates an actor that starts at virtual time `start`. Must be called
+  /// before run() or from inside a running actor.
+  Actor& spawn(std::string name, std::function<void()> body,
+               TimePs start = 0,
+               std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Runs until every actor has finished. Throws DeadlockError if all
+  /// remaining actors are blocked without timeouts.
+  void run();
+
+  /// The actor currently executing (nullptr from the main context).
+  Actor* current() { return current_; }
+
+  // ---- Called from inside a running actor ----
+
+  /// Unconditionally reinsert self and let the scheduler pick the earliest
+  /// actor (possibly self again).
+  void yield();
+
+  /// Cheap check used on the memory-access hot path: yields only when some
+  /// other schedulable actor has a strictly smaller clock. Returns true if
+  /// a switch happened.
+  bool maybe_yield();
+
+  /// True when another schedulable actor has a strictly earlier clock than
+  /// time `t`.
+  bool someone_earlier(TimePs t) const;
+
+  /// Suspends the current actor until wake(). Returns the reason.
+  WakeReason block();
+
+  /// Suspends until wake() or until virtual time `deadline`.
+  WakeReason block_until(TimePs deadline);
+
+  /// Makes `target` schedulable at virtual time >= `at`. No-op when the
+  /// target is already scheduled or finished. Any actor (or the main
+  /// context) may call this.
+  void wake(Actor& target, TimePs at);
+
+  std::size_t num_actors() const { return actors_.size(); }
+  Actor& actor(std::size_t i) { return *actors_.at(i); }
+
+ private:
+  struct HeapEntry {
+    TimePs time;
+    u64 seq;
+    u64 generation;
+    Actor* actor;
+    bool operator>(const HeapEntry& o) const {
+      if (time != o.time) return time > o.time;
+      if (actor->id() != o.actor->id()) return actor->id() > o.actor->id();
+      return seq > o.seq;
+    }
+  };
+
+  void schedule(Actor& a, TimePs at);
+  void switch_out();  // current actor -> main loop; throws when cancelling
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  Actor* current_ = nullptr;
+  u64 seq_ = 0;
+  std::size_t finished_count_ = 0;
+  bool running_ = false;
+  bool cancelling_ = false;
+};
+
+}  // namespace msvm::sim

@@ -1,0 +1,88 @@
+// Lightweight streaming statistics used by the benchmark harnesses to
+// summarise latency samples (mean / min / max / stddev / percentiles).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace msvm::sim {
+
+/// Streaming mean/variance (Welford) plus min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Keeps all samples; supports exact percentiles. Use for benchmark
+/// harnesses where the sample count is modest (<= a few million).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    stats_.add(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double stddev() const { return stats_.stddev(); }
+
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto idx = static_cast<std::size_t>(rank);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  double median() { return percentile(50.0); }
+
+  void reset() {
+    samples_.clear();
+    stats_.reset();
+    sorted_ = true;
+  }
+
+ private:
+  std::vector<double> samples_;
+  RunningStats stats_;
+  bool sorted_ = true;
+};
+
+}  // namespace msvm::sim

@@ -1,0 +1,40 @@
+// Common fixed-width aliases and simulated-time types used across the
+// MetalSVM reproduction. Simulated time is kept in integer picoseconds so
+// that the three SCC clock domains (core 533 MHz, mesh 800 MHz, DRAM
+// 800 MHz) can be mixed without rounding drift.
+#pragma once
+
+#include <cstdint>
+
+namespace msvm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated time in picoseconds.
+using TimePs = u64;
+
+/// An unresolvable/infinite point in simulated time.
+inline constexpr TimePs kTimeNever = ~TimePs{0};
+
+inline constexpr TimePs kPsPerNs = 1000;
+inline constexpr TimePs kPsPerUs = 1000 * 1000;
+inline constexpr TimePs kPsPerMs = 1000ull * 1000 * 1000;
+inline constexpr TimePs kPsPerSec = 1000ull * 1000 * 1000 * 1000;
+
+/// Converts a frequency in MHz to a cycle period in picoseconds,
+/// e.g. 533 MHz -> 1876 ps (truncating).
+constexpr TimePs cycle_ps_from_mhz(u64 mhz) { return 1'000'000 / mhz; }
+
+/// Convenience conversions for reporting.
+constexpr double ps_to_us(TimePs t) { return static_cast<double>(t) / 1e6; }
+constexpr double ps_to_ms(TimePs t) { return static_cast<double>(t) / 1e9; }
+constexpr double ps_to_sec(TimePs t) { return static_cast<double>(t) / 1e12; }
+
+}  // namespace msvm

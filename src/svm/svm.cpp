@@ -1,0 +1,755 @@
+#include "svm/svm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sccsim/addrmap.hpp"
+#include "sim/log.hpp"
+
+namespace msvm::svm {
+
+namespace {
+
+/// Scratchpad entry bit 15 marks a page for next-touch migration, which
+/// is why allocatable frame numbers are 15-bit (the paper's plain 16-bit
+/// representation caps shared memory at 256 MiB; the migration extension
+/// halves that to 128 MiB — still far beyond what we simulate).
+constexpr u16 kMigrateBit = 0x8000;
+constexpr u16 kFrameMask = 0x7fff;
+
+[[noreturn]] void panic(const char* msg) {
+  std::fprintf(stderr, "msvm::svm panic: %s\n", msg);
+  std::abort();
+}
+
+u64 round_up(u64 v, u64 to) { return (v + to - 1) / to * to; }
+
+}  // namespace
+
+// ===========================================================================
+// SvmDomain
+
+SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
+                     std::vector<int> members, int slot, int num_slots)
+    : chip_(chip),
+      cfg_(cfg),
+      members_(std::move(members)),
+      free_frames_(scc::Mesh::kNumMemControllers),
+      next_alloc_seq_(members_.size(), 0) {
+  assert(num_slots >= 1 && slot >= 0 && slot < num_slots);
+  debug_lock_holder_.assign(64, -1);
+  debug_lock_page_.assign(64, 0);
+  const scc::ChipConfig& ccfg = chip_.config();
+  const u64 page = ccfg.page_bytes;
+
+  entries_per_mpb_ = (mbox::kScratchpadBytes - 64) / 2;
+  const u64 total_capacity =
+      static_cast<u64>(ccfg.num_cores) * entries_per_mpb_;
+  // Coherency-domain partitioning: each slot owns a disjoint share of
+  // the page-index space (and therefore of the scratchpad/owner-vector
+  // entries and the virtual address range).
+  svm_page_capacity_ = total_capacity / static_cast<u64>(num_slots);
+  page_index_base_ = static_cast<u64>(slot) * svm_page_capacity_;
+
+  // Metadata at the tail of shared DRAM: 64 bytes of per-MC frame
+  // counters, then the owner vector, then the off-die scratchpad area
+  // (always reserved so the ablation flag does not change frame
+  // numbers). Sized for the whole chip so every slot sees the same
+  // layout.
+  const u64 meta_bytes = 64 + 4 * total_capacity;
+  if (round_up(meta_bytes, page) + page >= ccfg.shared_dram_bytes) {
+    panic("shared DRAM too small for SVM metadata");
+  }
+  meta_base_ = ccfg.shared_dram_bytes - round_up(meta_bytes, page);
+
+  // Seed the per-MC frame allocator counters in *simulated* memory (the
+  // kernel would write these at boot). Slot 0 does it; later slots must
+  // not reset the chip-level allocators.
+  if (slot == 0) {
+    for (int mc = 0; mc < scc::Mesh::kNumMemControllers; ++mc) {
+      const auto [lo, hi] = frame_range_of_mc(mc);
+      (void)hi;
+      const u64 v = lo;
+      chip_.memory().write(mc_counter_paddr(mc), &v, sizeof(v));
+    }
+  }
+}
+
+u64 SvmDomain::vbase() const {
+  return scc::kSvmVBase + page_index_base_ * chip_.config().page_bytes;
+}
+
+std::pair<u16, u16> SvmDomain::frame_range_of_mc(int mc) const {
+  const scc::ChipConfig& ccfg = chip_.config();
+  const u64 page = ccfg.page_bytes;
+  const u64 quarter = ccfg.shared_dram_bytes / scc::Mesh::kNumMemControllers;
+  const u64 frames_limit = meta_base_ / page;  // metadata is off-limits
+  u64 lo = static_cast<u64>(mc) * quarter / page;
+  u64 hi = (static_cast<u64>(mc) + 1) * quarter / page;
+  if (lo == 0) lo = 1;  // frame 0 is the "unallocated" sentinel
+  hi = std::min(hi, frames_limit);
+  lo = std::min(lo, hi);
+  if (hi > kFrameMask) panic("shared DRAM exceeds 15-bit frame space");
+  return {static_cast<u16>(lo), static_cast<u16>(hi)};
+}
+
+u64 SvmDomain::owner_entry_paddr(u64 page_idx) const {
+  assert(page_idx >= page_index_base_ &&
+         page_idx < page_index_base_ + svm_page_capacity_);
+  return scc::kSharedBase + meta_base_ + 64 + 2 * page_idx;
+}
+
+u64 SvmDomain::scratchpad_entry_paddr(u64 page_idx) const {
+  assert(page_idx >= page_index_base_ &&
+         page_idx < page_index_base_ + svm_page_capacity_);
+  if (cfg_.scratchpad_offdie) {
+    return scc::kSharedBase + meta_base_ + 64 + 2 * svm_page_capacity_ +
+           2 * page_idx;
+  }
+  const int core = static_cast<int>(page_idx / entries_per_mpb_);
+  const u32 off = static_cast<u32>(page_idx % entries_per_mpb_) * 2;
+  return chip_.map().mpb_base(core) + kEntriesOff + off;
+}
+
+u64 SvmDomain::mc_counter_paddr(int mc) const {
+  return scc::kSharedBase + meta_base_ + 8 * static_cast<u64>(mc);
+}
+
+u64 SvmDomain::frame_paddr(u16 frame_no) const {
+  return scc::kSharedBase +
+         static_cast<u64>(frame_no) * chip_.config().page_bytes;
+}
+
+// The 48-register TAS file is partitioned statically: scratchpad stripes
+// and transfer locks share the lower half, application locks take the
+// upper half. SVM fault handling can therefore never self-deadlock on a
+// register aliased with an application lock the faulting code holds.
+int SvmDomain::scratchpad_lock_reg(u64 page_idx) const {
+  const u32 half = scc::Mesh::kMaxCores / 2;
+  const u32 stripes =
+      std::max(1u, std::min(cfg_.scratchpad_lock_stripes, half));
+  return static_cast<int>(page_idx % stripes);
+}
+
+int SvmDomain::transfer_lock_reg(u64 page_idx) const {
+  // Shares the lower half with the scratchpad stripes; the two are never
+  // held simultaneously, so aliasing only costs contention, not deadlock.
+  return static_cast<int>(page_idx % (scc::Mesh::kMaxCores / 2));
+}
+
+int SvmDomain::app_lock_reg(int lock_id) const {
+  constexpr int kHalf = scc::Mesh::kMaxCores / 2;
+  return kHalf + lock_id % kHalf;
+}
+
+void SvmDomain::free_frame(int mc, u16 frame_no) {
+  free_frames_[static_cast<std::size_t>(mc)].push_back(frame_no);
+}
+
+u16 SvmDomain::take_free_frame(int mc) {
+  auto& list = free_frames_[static_cast<std::size_t>(mc)];
+  if (list.empty()) return 0;
+  const u16 f = list.back();
+  list.pop_back();
+  return f;
+}
+
+u64 SvmDomain::register_alloc(int rank, u64 bytes) {
+  const u64 page = chip_.config().page_bytes;
+  const u64 seq = next_alloc_seq_[static_cast<std::size_t>(rank)]++;
+  if (seq == allocs_.size()) {
+    // First member to reach this collective call defines the region.
+    const u64 prev_end =
+        allocs_.empty()
+            ? vbase()
+            : allocs_.back().base +
+                  round_up(allocs_.back().bytes, page);
+    if ((prev_end - vbase()) / page + round_up(bytes, page) / page >
+        svm_page_capacity_) {
+      panic("svm_alloc exceeds scratchpad capacity");
+    }
+    allocs_.push_back(AllocRecord{bytes, prev_end, 0});
+  }
+  AllocRecord& rec = allocs_.at(seq);
+  if (rec.bytes != bytes) {
+    panic("svm_alloc called with mismatched sizes across cores");
+  }
+  rec.seen_mask |= u64{1} << rank;
+  return rec.base;
+}
+
+// ===========================================================================
+// Svm (per-core endpoint)
+
+Svm::Svm(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
+         SvmDomain& domain)
+    : kernel_(kernel), mbox_(mbox), domain_(domain), core_(kernel.core()) {
+  const auto& members = domain_.members();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == core_.id()) rank_ = static_cast<int>(i);
+  }
+  assert(rank_ >= 0 && "core is not a member of the SVM domain");
+  next_vaddr_ = domain_.vbase();
+
+  kernel_.set_svm_fault_handler(
+      [this](u64 vaddr, bool is_write) { handle_fault(vaddr, is_write); });
+  mbox_.set_handler(kMailOwnershipReq, [this](const mbox::Mail& m) {
+    serve_ownership_request(m);
+  });
+}
+
+u64 Svm::page_index_of(u64 vaddr) const {
+  return (vaddr - scc::kSvmVBase) / core_.chip().config().page_bytes;
+}
+
+Svm::RegionAttrs* Svm::region_of(u64 vaddr) {
+  const u64 page = core_.chip().config().page_bytes;
+  for (auto& r : regions_) {
+    if (vaddr >= r.base && vaddr < r.base + r.pages * page) return &r;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// collectives
+
+u64 Svm::alloc(u64 bytes) {
+  const u64 page = core_.chip().config().page_bytes;
+  const u64 pages = (bytes + page - 1) / page;
+  const u64 base = domain_.register_alloc(rank_, bytes);
+  // Region bookkeeping cost scales with the page count (the paper's
+  // Table 1 row 1: reserving 4 MiB costs ~741 us in total).
+  core_.compute_cycles(
+      pages * domain_.config().alloc_region_cycles_per_page);
+  regions_.push_back(RegionAttrs{base, pages, false, false});
+  next_vaddr_ = base + pages * page;
+  barrier();
+  return base;
+}
+
+void Svm::barrier() {
+  ++stats_.barriers;
+  // Release semantics: our writes must be in memory before we signal
+  // arrival.
+  if (!domain_.config().sabotage.skip_release_flush) core_.flush_wcb();
+
+  if (domain_.config().barrier_algo == BarrierAlgo::kDissemination) {
+    barrier_dissemination();
+  } else {
+    barrier_master_gather();
+  }
+
+  // Acquire semantics: under Lazy Release the data written by others
+  // before the barrier must not be shadowed by stale cache lines.
+  if (model() == Model::kLazyRelease &&
+      !domain_.config().sabotage.skip_acquire_invalidate) {
+    core_.cl1invmb();
+  }
+}
+
+void Svm::barrier_master_gather() {
+  const u8 sense = barrier_sense_;
+  barrier_sense_ = sense == 1 ? 2 : 1;
+  const auto& members = domain_.members();
+  const int master_core = members.front();
+  const scc::AddrMap& map = core_.chip().map();
+  if (rank_ == 0) {
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const u64 flag = map.mpb_base(master_core) +
+                       SvmDomain::kBarrierArriveOff +
+                       static_cast<u32>(members[i]);
+      TimePs gap = 200 * kPsPerNs;
+      while (core_.pload<u8>(flag, scc::MemPolicy::kUncached) != sense) {
+        core_.relax(gap);
+        gap = std::min<TimePs>(gap * 2, 50 * kPsPerUs);
+      }
+    }
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      core_.pstore<u8>(
+          map.mpb_base(members[i]) + SvmDomain::kBarrierReleaseOff, sense,
+          scc::MemPolicy::kUncached);
+    }
+  } else {
+    core_.pstore<u8>(map.mpb_base(master_core) +
+                         SvmDomain::kBarrierArriveOff +
+                         static_cast<u32>(core_.id()),
+                     sense, scc::MemPolicy::kUncached);
+    const u64 flag =
+        map.mpb_base(core_.id()) + SvmDomain::kBarrierReleaseOff;
+    TimePs gap = 200 * kPsPerNs;
+    while (core_.pload<u8>(flag, scc::MemPolicy::kUncached) != sense) {
+      core_.relax(gap);
+      gap = std::min<TimePs>(gap * 2, 50 * kPsPerUs);
+    }
+  }
+}
+
+void Svm::barrier_dissemination() {
+  // Classic dissemination barrier: in round r every rank signals the
+  // rank 2^r ahead and waits for the rank 2^r behind; after ceil(log2 n)
+  // rounds everyone has (transitively) heard from everyone. Flags are
+  // double-buffered by barrier parity so a neighbour one full barrier
+  // ahead writes the *other* set — and no core can ever be two barriers
+  // ahead, because that would require passing a barrier this core has
+  // not entered.
+  const auto& members = domain_.members();
+  const int n = static_cast<int>(members.size());
+  const u64 seq = diss_seq_++;
+  const u32 parity = static_cast<u32>(seq % 2);
+  const u8 sense = static_cast<u8>((seq / 2) % 2 + 1);
+  const scc::AddrMap& map = core_.chip().map();
+  int distance = 1;
+  for (u32 round = 0; distance < n; ++round, distance *= 2) {
+    const int to =
+        members[static_cast<std::size_t>((rank_ + distance) % n)];
+    core_.pstore<u8>(map.mpb_base(to) + SvmDomain::kBarrierDissOff +
+                         parity * 6 + round,
+                     sense, scc::MemPolicy::kUncached);
+    const u64 own = map.mpb_base(core_.id()) + SvmDomain::kBarrierDissOff +
+                    parity * 6 + round;
+    // Rounds are short (one flag write away); a large backoff cap would
+    // compound oversleeps across the log2(n) rounds.
+    TimePs gap = 100 * kPsPerNs;
+    while (core_.pload<u8>(own, scc::MemPolicy::kUncached) != sense) {
+      core_.relax(gap);
+      gap = std::min<TimePs>(gap * 2, 800 * kPsPerNs);
+    }
+  }
+}
+
+void Svm::protect_readonly(u64 vaddr, u64 bytes) {
+  ++stats_.protect_calls;
+  RegionAttrs* region = region_of(vaddr);
+  if (region == nullptr) panic("protect_readonly outside any SVM region");
+  const u64 page = core_.chip().config().page_bytes;
+  // Make our writes visible and drop our MPBT lines: the region's lines
+  // will re-enter the caches as plain (L2-capable) lines.
+  core_.flush_wcb();
+  core_.cl1invmb();
+  for (u64 off = 0; off < bytes; off += page) {
+    core_.pagetable().update(vaddr + off, [](scc::Pte& p) {
+      p.writable = false;
+      p.mpbt = false;
+      p.l2_enable = true;
+    });
+    core_.compute_cycles(40);
+  }
+  region->readonly = true;
+  barrier();
+}
+
+void Svm::unprotect(u64 vaddr, u64 bytes) {
+  RegionAttrs* region = region_of(vaddr);
+  if (region == nullptr) panic("unprotect outside any SVM region");
+  const u64 page = core_.chip().config().page_bytes;
+  // Drop all mappings: the next access re-faults through the normal
+  // (model-aware) path, which restores MPBT attributes and — under the
+  // strong model — re-establishes single ownership.
+  for (u64 off = 0; off < bytes; off += page) {
+    core_.pagetable().update(vaddr + off,
+                             [](scc::Pte& p) { p.present = false; });
+    core_.compute_cycles(40);
+  }
+  // Stale L2/L1 copies of the region must not survive into the writable
+  // regime.
+  core_.l2().invalidate_all();
+  core_.l1().invalidate_all();
+  core_.compute_cycles(2000);  // software L2 flush is expensive (Sec. 3)
+  region->readonly = false;
+  barrier();
+}
+
+void Svm::next_touch(u64 vaddr, u64 bytes) {
+  RegionAttrs* region = region_of(vaddr);
+  if (region == nullptr) panic("next_touch outside any SVM region");
+  const u64 page = core_.chip().config().page_bytes;
+  core_.flush_wcb();
+  core_.cl1invmb();
+  for (u64 off = 0; off < bytes; off += page) {
+    core_.pagetable().update(vaddr + off,
+                             [](scc::Pte& p) { p.present = false; });
+  }
+  barrier();  // everyone unmapped
+  if (rank_ == 0) {
+    for (u64 off = 0; off < bytes; off += page) {
+      const u64 idx = page_index_of(vaddr + off);
+      const u16 entry = scratchpad_read(idx);
+      if ((entry & kFrameMask) != 0) {
+        scratchpad_write(idx, entry | kMigrateBit);
+      }
+    }
+  }
+  barrier();  // marks visible before anyone touches
+}
+
+// ---------------------------------------------------------------------------
+// locks
+
+void Svm::lock_acquire(int lock_id) {
+  ++stats_.lock_acquires;
+  const int reg = domain_.app_lock_reg(lock_id);
+  u64 backoff = 16;
+  while (!core_.tas_try_acquire(reg)) {
+    core_.relax(backoff * core_.chip().config().core_cycle_ps());
+    backoff = std::min<u64>(backoff * 2, 4096);
+  }
+  // Entering the critical section: see the lock holder's released data.
+  if (model() == Model::kLazyRelease &&
+      !domain_.config().sabotage.skip_acquire_invalidate) {
+    core_.cl1invmb();
+  }
+}
+
+void Svm::lock_release(int lock_id) {
+  // Leaving: push our modifications down to memory.
+  if (!domain_.config().sabotage.skip_release_flush) core_.flush_wcb();
+  core_.tas_release(domain_.app_lock_reg(lock_id));
+}
+
+// ---------------------------------------------------------------------------
+// metadata accessors (simulated, uncached)
+
+u16 Svm::owner_read(u64 page_idx) {
+  return core_.pload<u16>(domain_.owner_entry_paddr(page_idx),
+                          scc::MemPolicy::kUncached);
+}
+
+void Svm::owner_write(u64 page_idx, u16 owner_core) {
+  core_.pstore<u16>(domain_.owner_entry_paddr(page_idx), owner_core,
+                    scc::MemPolicy::kUncached);
+}
+
+u16 Svm::scratchpad_read(u64 page_idx) {
+  return core_.pload<u16>(domain_.scratchpad_entry_paddr(page_idx),
+                          scc::MemPolicy::kUncached);
+}
+
+void Svm::scratchpad_write(u64 page_idx, u16 value) {
+  core_.pstore<u16>(domain_.scratchpad_entry_paddr(page_idx), value,
+                    scc::MemPolicy::kUncached);
+}
+
+u16 Svm::alloc_frame_near(int preferred_mc) {
+  // Frames come from the preferred controller's quarter while it lasts,
+  // then fall back round-robin — the NUMA-style placement of Section 6.3.
+  //
+  // Each core draws from a private *batch* of contiguous frames and only
+  // refills the batch from the shared per-MC counter. Besides cutting
+  // counter traffic, this keeps one core's consecutively-touched pages
+  // physically contiguous: interleaving allocations from several cores
+  // would give every core's data an 8+ KiB physical stride, which maps
+  // whole row-streams onto the same L1 sets (the page-coloring problem).
+  const u16 freed = domain_.take_free_frame(preferred_mc);
+  if (freed != 0) return freed;
+  if (frame_batch_next_ < frame_batch_end_) {
+    core_.compute_cycles(20);
+    return frame_batch_next_++;
+  }
+  constexpr u16 kBatchFrames = 32;  // 128 KiB of contiguity
+  for (int k = 0; k < scc::Mesh::kNumMemControllers; ++k) {
+    const int mc = (preferred_mc + k) % scc::Mesh::kNumMemControllers;
+    const auto [lo, hi] = domain_.frame_range_of_mc(mc);
+    (void)lo;
+    const u64 next = core_.pload<u64>(domain_.mc_counter_paddr(mc),
+                                      scc::MemPolicy::kUncached);
+    if (next < hi) {
+      const u64 take = std::min<u64>(kBatchFrames, hi - next);
+      core_.pstore<u64>(domain_.mc_counter_paddr(mc), next + take,
+                        scc::MemPolicy::kUncached);
+      frame_batch_next_ = static_cast<u16>(next);
+      frame_batch_end_ = static_cast<u16>(next + take);
+      return frame_batch_next_++;
+    }
+    const u16 fallback = domain_.take_free_frame(mc);
+    if (fallback != 0) return fallback;
+  }
+  panic("out of shared SVM memory (all frame pools exhausted)");
+}
+
+void Svm::zero_frame(u16 frame_no) {
+  const u64 base = domain_.frame_paddr(frame_no);
+  const u32 line = core_.chip().config().line_bytes;
+  const u32 page = core_.chip().config().page_bytes;
+  const u8 zeros[64] = {0};
+  for (u32 off = 0; off < page; off += line) {
+    core_.pwrite(base + off, zeros, line, scc::MemPolicy::kMpbt);
+  }
+  core_.flush_wcb();
+}
+
+// ---------------------------------------------------------------------------
+// fault path
+
+void Svm::handle_fault(u64 vaddr, bool is_write) {
+  RegionAttrs* region = region_of(vaddr);
+  if (region == nullptr) {
+    std::fprintf(stderr,
+                 "svm (core %d): fault at 0x%llx outside any region\n",
+                 core_.id(), static_cast<unsigned long long>(vaddr));
+    std::abort();
+  }
+  if (region->readonly && is_write) throw SvmProtectionError(vaddr);
+
+  const u64 page_idx = page_index_of(vaddr);
+  const scc::Pte* pte = core_.pagetable().find(vaddr);
+  if (pte == nullptr || !pte->present) {
+    mapping_fault(vaddr, page_idx, is_write);
+    return;
+  }
+  // Present but insufficient permission: a strong-model write to a page
+  // currently owned elsewhere would have been unmapped by the transfer,
+  // so this path only covers defensive re-acquisition.
+  if (is_write && !pte->writable && model() == Model::kStrong) {
+    acquire_ownership(vaddr, page_idx);
+    return;
+  }
+  panic("unresolvable SVM fault");
+}
+
+void Svm::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
+  (void)is_write;
+  core_.compute_cycles(domain_.config().map_software_cycles);
+  const u64 page_base = vaddr & ~(u64{core_.chip().config().page_bytes} - 1);
+  RegionAttrs* region = region_of(vaddr);
+
+  const int lock_reg = domain_.scratchpad_lock_reg(page_idx);
+  u64 backoff = 16;
+  while (!core_.tas_try_acquire(lock_reg)) {
+    core_.relax(backoff * core_.chip().config().core_cycle_ps());
+    backoff = std::min<u64>(backoff * 2, 4096);
+  }
+  u16 entry = scratchpad_read(page_idx);
+
+  if ((entry & kFrameMask) == 0) {
+    // First touch chip-wide: allocate near our memory controller, zero it
+    // and publish the 16-bit representation.
+    ++stats_.first_touch_allocs;
+    core_.compute_cycles(domain_.config().first_touch_software_cycles);
+    const u16 frame = alloc_frame_near(scc::Mesh::nearest_mc(core_.id()));
+    zero_frame(frame);
+    scratchpad_write(page_idx, frame);
+    owner_write(page_idx, static_cast<u16>(core_.id()));
+    core_.tas_release(lock_reg);
+    if (region->readonly) {
+      map_readonly(page_base, frame);
+    } else {
+      install_mapping(page_base, frame, /*writable=*/true);
+    }
+    return;
+  }
+
+  if ((entry & kMigrateBit) != 0) {
+    // Affinity-on-next-touch: we are the first toucher after the mark —
+    // move the frame next to our own controller.
+    ++stats_.migrations;
+    const u16 old_frame = entry & kFrameMask;
+    const int my_mc = scc::Mesh::nearest_mc(core_.id());
+    const u16 new_frame = alloc_frame_near(my_mc);
+    const u32 line = core_.chip().config().line_bytes;
+    const u32 page = core_.chip().config().page_bytes;
+    u8 buf[64];
+    for (u32 off = 0; off < page; off += line) {
+      core_.pread(domain_.frame_paddr(old_frame) + off, buf, line,
+                  scc::MemPolicy::kUncached);
+      core_.pwrite(domain_.frame_paddr(new_frame) + off, buf, line,
+                   scc::MemPolicy::kUncached);
+    }
+    const scc::PhysTarget old_target =
+        core_.chip().map().decode(domain_.frame_paddr(old_frame));
+    domain_.free_frame(old_target.owner, old_frame);
+    scratchpad_write(page_idx, new_frame);
+    owner_write(page_idx, static_cast<u16>(core_.id()));
+    core_.tas_release(lock_reg);
+    install_mapping(page_base, new_frame, /*writable=*/true);
+    return;
+  }
+
+  // Frame already exists: plain (re)mapping.
+  ++stats_.map_faults;
+  const u16 frame = entry & kFrameMask;
+  core_.tas_release(lock_reg);
+  if (region->readonly) {
+    map_readonly(page_base, frame);
+    return;
+  }
+  if (model() == Model::kStrong) {
+    // "the Strong Memory Model has to retrieve the access permissions
+    // from the page owner" (Section 7.2.1) — for reads as much as writes,
+    // since at each point in time only one owner may access the page.
+    acquire_ownership(page_base, page_idx);
+    return;
+  }
+  install_mapping(page_base, frame, /*writable=*/true);
+}
+
+void Svm::acquire_ownership(u64 page_vaddr, u64 page_idx) {
+  ++stats_.ownership_acquires;
+  core_.compute_cycles(domain_.config().ownership_software_cycles);
+  const u16 frame = scratchpad_read(page_idx) & kFrameMask;
+
+  // Fast path: we already own the page (e.g. a mapping dropped by
+  // unprotect or next_touch on a page we kept owning).
+  core_.irq_disable();
+  if (owner_read(page_idx) == core_.id()) {
+    install_mapping(page_vaddr, frame, /*writable=*/true);
+    core_.irq_enable();
+    return;
+  }
+  core_.irq_enable();
+
+  // Serialise transfers of this page: with a free-for-all, a request can
+  // chase an owner that keeps moving (three or more contenders forward
+  // the mail around forever). While spinning — and while waiting for the
+  // ACK below — incoming ownership requests keep being served through the
+  // interrupt path, so the lock cannot deadlock the protocol.
+  const int treg = domain_.transfer_lock_reg(page_idx);
+  u64 spins = 0;
+  u64 backoff = 16;
+  while (!core_.tas_try_acquire(treg)) {
+    if (++spins % 100000 == 0) {
+      MSVM_LOG_ERROR(
+          "core %d: stuck spinning on transfer lock %d for page %llu "
+          "(holder=core %d, holder_page=%llu) t=%.3fms",
+          core_.id(), treg, static_cast<unsigned long long>(page_idx),
+          domain_.debug_lock_holder_[static_cast<std::size_t>(treg)],
+          static_cast<unsigned long long>(
+              domain_.debug_lock_page_[static_cast<std::size_t>(treg)]),
+          ps_to_ms(core_.now()));
+    }
+    core_.relax(backoff * core_.chip().config().core_cycle_ps());
+    backoff = std::min<u64>(backoff * 2, 4096);
+  }
+  domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
+  domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page_idx;
+
+  u64 rounds = 0;
+  for (;;) {
+    if (++rounds % 1000 == 0) {
+      MSVM_LOG_ERROR("core %d: acquire of page %llu not converging "
+                     "(round %llu, owner=%u)",
+                     core_.id(), static_cast<unsigned long long>(page_idx),
+                     static_cast<unsigned long long>(rounds),
+                     owner_read(page_idx));
+    }
+    const u16 owner = owner_read(page_idx);
+    if (owner == core_.id()) {
+      // Close the window between learning we own the page and mapping
+      // it: an incoming request handled in between would unmap it again.
+      core_.irq_disable();
+      if (owner_read(page_idx) == core_.id()) {
+        install_mapping(page_vaddr, frame, /*writable=*/true);
+        core_.irq_enable();
+        domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = -1;
+        core_.tas_release(treg);
+        return;
+      }
+      core_.irq_enable();
+      continue;
+    }
+    mbox::Mail req;
+    req.type = kMailOwnershipReq;
+    req.p0 = page_idx;
+    req.p1 = static_cast<u64>(core_.id());  // survives forwarding
+    MSVM_LOG_DEBUG("core %d: REQ page %llu -> owner %u", core_.id(),
+                   static_cast<unsigned long long>(page_idx), owner);
+    mbox_.send(owner, req);
+    if (domain_.config().ack_via_mail) {
+      (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
+        return m.type == kMailOwnershipAck && m.p0 == page_idx;
+      });
+      MSVM_LOG_DEBUG("core %d: ACK page %llu consumed (owner now %u)",
+                     core_.id(),
+                     static_cast<unsigned long long>(page_idx),
+                     owner_read(page_idx));
+    } else {
+      // Prior-prototype scheme [14]: poll the off-die owner vector. This
+      // is the "memory wall" behaviour the mailbox+ACK design removes.
+      while (owner_read(page_idx) !=
+             static_cast<u16>(core_.id())) {
+        core_.yield();
+      }
+    }
+    // Loop re-verifies ownership and maps under masked interrupts.
+  }
+}
+
+void Svm::serve_ownership_request(const mbox::Mail& mail) {
+  const u64 page_idx = mail.p0;
+  const int requester = static_cast<int>(mail.p1);
+  core_.compute_cycles(domain_.config().ownership_software_cycles);
+  const u16 owner = owner_read(page_idx);
+  if (owner == requester) {
+    // Transfer already happened (raced with a forward); just confirm.
+    MSVM_LOG_DEBUG("core %d: CONFIRM page %llu to %d", core_.id(),
+                   static_cast<unsigned long long>(page_idx), requester);
+    if (domain_.config().ack_via_mail) {
+      mbox::Mail ack;
+      ack.type = kMailOwnershipAck;
+      ack.p0 = page_idx;
+      mbox_.send(requester, ack);
+    }
+    return;
+  }
+  if (owner != core_.id()) {
+    // We gave the page away before this request arrived: forward it to
+    // the core we handed it to.
+    MSVM_LOG_DEBUG("core %d: FWD page %llu req-by %d -> %u", core_.id(),
+                   static_cast<unsigned long long>(page_idx), requester,
+                   owner);
+    ++stats_.ownership_forwards;
+    mbox_.send(owner, mail);
+    return;
+  }
+  MSVM_LOG_DEBUG("core %d: SERVE page %llu -> %d t=%.3fms", core_.id(),
+                 static_cast<unsigned long long>(page_idx), requester,
+                 ps_to_ms(core_.now()));
+
+  // The paper's transfer sequence (Section 6.1, steps 3-5): flush the
+  // write-combine buffer, invalidate the tagged L1 entries, drop our
+  // access permission, publish the new owner, send the acknowledgment.
+  ++stats_.ownership_serves;
+  const auto& sabotage = domain_.config().sabotage;
+  if (!sabotage.skip_serve_wcb_flush) core_.flush_wcb();
+  if (!sabotage.skip_serve_cl1invmb) core_.cl1invmb();
+  const u64 page_vaddr =
+      scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
+  if (!sabotage.skip_serve_unmap) {
+    core_.pagetable().update(page_vaddr, [](scc::Pte& p) {
+      p.present = false;
+      p.writable = false;
+    });
+  }
+  owner_write(page_idx, static_cast<u16>(requester));
+  if (domain_.config().ack_via_mail) {
+    mbox::Mail ack;
+    ack.type = kMailOwnershipAck;
+    ack.p0 = page_idx;
+    mbox_.send(requester, ack);
+  }
+}
+
+void Svm::install_mapping(u64 page_vaddr, u16 frame_no, bool writable) {
+  scc::Pte pte;
+  pte.frame_paddr = domain_.frame_paddr(frame_no);
+  pte.present = true;
+  pte.writable = writable;
+  pte.mpbt = true;  // SVM pages are MPBT-typed: L1 WT + WCB, no L2
+  pte.l2_enable = false;
+  core_.pagetable().map(page_vaddr, pte);
+  core_.compute_cycles(80);
+}
+
+void Svm::map_readonly(u64 page_vaddr, u16 frame_no) {
+  scc::Pte pte;
+  pte.frame_paddr = domain_.frame_paddr(frame_no);
+  pte.present = true;
+  pte.writable = false;
+  pte.mpbt = false;  // read-only regions may use the L2 (Section 6.4)
+  pte.l2_enable = true;
+  core_.pagetable().map(page_vaddr, pte);
+  core_.compute_cycles(80);
+}
+
+}  // namespace msvm::svm

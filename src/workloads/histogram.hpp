@@ -1,0 +1,35 @@
+// Lock-based shared histogram: the classic Lazy-Release-Consistency
+// workload (every access to shared data protected by a lock, Section
+// 6.2). Each core draws deterministic pseudo-random samples, bins them
+// locally, then merges into the SVM-resident histogram under striped SVM
+// locks — acquire invalidates, release publishes.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+#include "svm/svm.hpp"
+
+namespace msvm::workloads {
+
+struct HistogramParams {
+  u32 bins = 256;
+  u32 samples_per_core = 4096;
+  u32 lock_stripes = 8;  // bins per lock stripe = bins / stripes
+  u64 seed = 42;
+};
+
+struct HistogramResult {
+  std::vector<u64> bins;   // final shared histogram
+  u64 total_samples = 0;
+  TimePs elapsed = 0;      // slowest core, merge phase
+};
+
+HistogramResult run_histogram(const HistogramParams& p, svm::Model model,
+                              int num_cores);
+
+/// Host-side reference for validation (same PRNG stream per rank).
+std::vector<u64> histogram_reference(const HistogramParams& p,
+                                     int num_cores);
+
+}  // namespace msvm::workloads

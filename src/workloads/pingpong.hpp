@@ -1,0 +1,36 @@
+// Mailbox ping-pong drivers for Figures 6 and 7.
+//
+// The benchmark sends a mail from core A to core B, which replies
+// immediately; the reported latency is the half round-trip time, "the
+// elapsed time for sending a mail and handling on the receiver's side"
+// (Section 7.1). Non-participating "activated" cores sit in the mailbox
+// idle path (scanning all slots in poll mode, halting in IPI mode) and —
+// optionally — generate background all-to-all mail noise.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace msvm::workloads {
+
+struct PingPongParams {
+  int core_a = 0;
+  int core_b = 30;          // the paper's 5-hop pair
+  int activated_cores = 2;  // cores booted into the mailbox layer
+  bool use_ipi = true;
+  bool background_noise = false;  // remaining cores mail each other
+  int reps = 200;
+  int warmup = 20;
+};
+
+struct PingPongResult {
+  TimePs half_rtt_mean = 0;
+  TimePs half_rtt_min = 0;
+  TimePs half_rtt_max = 0;
+  u64 slot_checks = 0;  // receiver-side mailbox checks during the run
+};
+
+PingPongResult run_mailbox_pingpong(const PingPongParams& params);
+
+}  // namespace msvm::workloads

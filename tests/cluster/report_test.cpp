@@ -1,0 +1,69 @@
+// Tests for the run-report formatter.
+#include "cluster/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msvm::cluster {
+namespace {
+
+TEST(Report, ContainsHeadlineAndSections) {
+  ClusterConfig cfg;
+  cfg.chip.num_cores = 4;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.chip.private_dram_bytes = 1 << 20;
+  Cluster cl(cfg);
+  cl.run([](Node& n) {
+    const u64 base = n.svm().alloc(4096);
+    n.svm().write<u64>(base + 8 * static_cast<u64>(n.rank()), 1);
+    n.svm().barrier();
+  });
+  const std::string report = format_report(cl);
+  EXPECT_NE(report.find("run report: 4 member core(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+  EXPECT_NE(report.find("svm: first-touch"), std::string::npos);
+  EXPECT_NE(report.find("mailbox: sent"), std::string::npos);
+  // The workload touched one page: one first-touch chip-wide.
+  EXPECT_NE(report.find("first-touch 1,"), std::string::npos);
+}
+
+TEST(Report, PerCoreRowsWhenRequested) {
+  ClusterConfig cfg;
+  cfg.chip.num_cores = 3;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.chip.private_dram_bytes = 1 << 20;
+  Cluster cl(cfg);
+  cl.run([](Node& n) {
+    const u64 base = n.svm().alloc(4096);
+    n.svm().write<u64>(base, static_cast<u64>(n.rank()));
+    n.svm().barrier();
+  });
+  ReportOptions options;
+  options.per_core = true;
+  const std::string report = format_report(cl, options);
+  EXPECT_NE(report.find("core  0"), std::string::npos);
+  EXPECT_NE(report.find("core  1"), std::string::npos);
+  EXPECT_NE(report.find("core  2"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  ClusterConfig cfg;
+  cfg.chip.num_cores = 2;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.chip.private_dram_bytes = 1 << 20;
+  Cluster cl(cfg);
+  cl.run([](Node& n) {
+    (void)n.svm().alloc(4096);
+    n.svm().barrier();
+  });
+  ReportOptions options;
+  options.svm = false;
+  options.mailbox = false;
+  const std::string report = format_report(cl, options);
+  EXPECT_EQ(report.find("svm:"), std::string::npos);
+  EXPECT_EQ(report.find("mailbox:"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msvm::cluster

@@ -1,0 +1,168 @@
+// Tests for the RCCE reduction and data-movement collectives.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "rcce/rcce.hpp"
+#include "sccsim/chip.hpp"
+
+namespace msvm::rcce {
+namespace {
+
+scc::ChipConfig small_config(int cores) {
+  scc::ChipConfig cfg;
+  cfg.num_cores = cores;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 2 << 20;
+  return cfg;
+}
+
+class CollectiveRig {
+ public:
+  explicit CollectiveRig(int cores) : chip_(small_config(cores)) {
+    for (int i = 0; i < cores; ++i) members_.push_back(i);
+    kernels_.resize(static_cast<std::size_t>(cores));
+    endpoints_.resize(static_cast<std::size_t>(cores));
+  }
+
+  using Body =
+      std::function<void(int rank, Rcce& rcce, kernel::Kernel& k)>;
+
+  void run(Body body) {
+    for (int i = 0; i < chip_.num_cores(); ++i) {
+      chip_.spawn_program(i, [this, i, body](scc::Core& c) {
+        auto& kern = kernels_[static_cast<std::size_t>(i)];
+        kern = std::make_unique<kernel::Kernel>(c);
+        kern->boot();
+        auto& ep = endpoints_[static_cast<std::size_t>(i)];
+        ep = std::make_unique<Rcce>(*kern, members_);
+        body(ep->rank(), *ep, *kern);
+      });
+    }
+    chip_.run();
+  }
+
+ private:
+  scc::Chip chip_;
+  std::vector<int> members_;
+  std::vector<std::unique_ptr<kernel::Kernel>> kernels_;
+  std::vector<std::unique_ptr<Rcce>> endpoints_;
+};
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, ReduceSumOfDoubles) {
+  const int cores = GetParam();
+  CollectiveRig rig(cores);
+  constexpr u32 kCount = 40;
+  std::vector<double> result(kCount, 0.0);
+  rig.run([&](int rank, Rcce& r, kernel::Kernel& k) {
+    const u64 buf = k.kmalloc(kCount * 8);
+    for (u32 i = 0; i < kCount; ++i) {
+      k.core().vstore<double>(buf + i * 8,
+                              static_cast<double>(rank + 1) * (i + 1));
+    }
+    r.reduce<double>(buf, kCount, Rcce::ReduceOp::kSum, /*root=*/0);
+    if (rank == 0) {
+      for (u32 i = 0; i < kCount; ++i) {
+        result[i] = k.core().vload<double>(buf + i * 8);
+      }
+    }
+  });
+  const double rank_sum = cores * (cores + 1) / 2.0;
+  for (u32 i = 0; i < kCount; ++i) {
+    EXPECT_DOUBLE_EQ(result[i], rank_sum * (i + 1)) << "element " << i;
+  }
+}
+
+TEST_P(CollectiveSizes, AllreduceMaxReachesEveryRank) {
+  const int cores = GetParam();
+  CollectiveRig rig(cores);
+  std::vector<u64> seen(static_cast<std::size_t>(cores), 0);
+  rig.run([&](int rank, Rcce& r, kernel::Kernel& k) {
+    const u64 buf = k.kmalloc(8);
+    k.core().vstore<u64>(buf, 100 + static_cast<u64>(rank) * 7);
+    r.allreduce<u64>(buf, 1, Rcce::ReduceOp::kMax);
+    seen[static_cast<std::size_t>(rank)] = k.core().vload<u64>(buf);
+  });
+  const u64 expect = 100 + static_cast<u64>(cores - 1) * 7;
+  for (int r = 0; r < cores; ++r) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)], expect) << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSizes, GatherCollectsRankOrdered) {
+  const int cores = GetParam();
+  CollectiveRig rig(cores);
+  constexpr u32 kBytesEach = 96;
+  std::vector<u8> gathered;
+  rig.run([&](int rank, Rcce& r, kernel::Kernel& k) {
+    const u64 src = k.kmalloc(kBytesEach);
+    for (u32 i = 0; i < kBytesEach; ++i) {
+      k.core().vstore<u8>(src + i, static_cast<u8>(rank * 16 + i % 16));
+    }
+    const u64 dst =
+        k.kmalloc(kBytesEach * static_cast<u64>(cores));
+    r.gather(src, kBytesEach, dst, /*root=*/1 % cores);
+    if (rank == 1 % cores) {
+      for (u32 i = 0; i < kBytesEach * static_cast<u32>(cores); ++i) {
+        gathered.push_back(k.core().vload<u8>(dst + i));
+      }
+    }
+  });
+  ASSERT_EQ(gathered.size(), kBytesEach * static_cast<std::size_t>(cores));
+  for (int r = 0; r < cores; ++r) {
+    for (u32 i = 0; i < kBytesEach; ++i) {
+      ASSERT_EQ(gathered[static_cast<std::size_t>(r) * kBytesEach + i],
+                static_cast<u8>(r * 16 + i % 16))
+          << "rank " << r << " byte " << i;
+    }
+  }
+}
+
+TEST_P(CollectiveSizes, ScatterDistributesSlices) {
+  const int cores = GetParam();
+  CollectiveRig rig(cores);
+  constexpr u32 kBytesEach = 64;
+  std::vector<bool> ok(static_cast<std::size_t>(cores), false);
+  rig.run([&](int rank, Rcce& r, kernel::Kernel& k) {
+    const u64 src = k.kmalloc(kBytesEach * static_cast<u64>(cores));
+    if (rank == 0) {
+      for (u32 i = 0; i < kBytesEach * static_cast<u32>(cores); ++i) {
+        k.core().vstore<u8>(src + i, static_cast<u8>(i * 3));
+      }
+    }
+    const u64 dst = k.kmalloc(kBytesEach);
+    r.scatter(src, kBytesEach, dst, /*root=*/0);
+    bool good = true;
+    for (u32 i = 0; i < kBytesEach; ++i) {
+      const u8 expect = static_cast<u8>(
+          (static_cast<u32>(rank) * kBytesEach + i) * 3);
+      if (k.core().vload<u8>(dst + i) != expect) good = false;
+    }
+    ok[static_cast<std::size_t>(rank)] = good;
+  });
+  for (int r = 0; r < cores; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSizes, ReduceMinIntegers) {
+  const int cores = GetParam();
+  CollectiveRig rig(cores);
+  i32 result = 0;
+  rig.run([&](int rank, Rcce& r, kernel::Kernel& k) {
+    const u64 buf = k.kmalloc(4);
+    k.core().vstore<i32>(buf, 1000 - rank * 13);
+    r.reduce<i32>(buf, 1, Rcce::ReduceOp::kMin, /*root=*/0);
+    if (rank == 0) result = k.core().vload<i32>(buf);
+  });
+  EXPECT_EQ(result, 1000 - (cores - 1) * 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace msvm::rcce

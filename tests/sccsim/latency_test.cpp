@@ -1,0 +1,84 @@
+// Unit tests for the latency model: composition of the clock domains,
+// monotonicity in distance, and the read/write asymmetry (posted
+// stores) the Figure 9 reproduction depends on.
+#include "sccsim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msvm::scc {
+namespace {
+
+TEST(Latency, ClockDomainPeriods) {
+  ChipConfig cfg;  // 533 / 800 / 800 MHz
+  LatencyModel lat(cfg);
+  EXPECT_EQ(lat.core_cycles(1), 1876u);
+  EXPECT_EQ(lat.mesh_cycles(1), 1250u);
+  EXPECT_EQ(lat.dram_cycles(1), 1250u);
+  EXPECT_EQ(lat.core_cycles(100), 187600u);
+}
+
+TEST(Latency, HierarchyOrdering) {
+  ChipConfig cfg;
+  LatencyModel lat(cfg);
+  // L1 << L2 << MPB(0 hops) < DRAM(0 hops): the ordering every paper
+  // claim rests on.
+  EXPECT_LT(lat.l1_hit(), lat.l2_hit());
+  EXPECT_LT(lat.l2_hit(), lat.dram_access(0));
+  EXPECT_LT(lat.mpb_access(0), lat.dram_access(0));
+}
+
+TEST(Latency, MonotoneInHops) {
+  ChipConfig cfg;
+  LatencyModel lat(cfg);
+  for (int h = 0; h < 8; ++h) {
+    EXPECT_LT(lat.mpb_access(h), lat.mpb_access(h + 1));
+    EXPECT_LT(lat.dram_access(h), lat.dram_access(h + 1));
+    EXPECT_LT(lat.tas_access(h), lat.tas_access(h + 1));
+    EXPECT_LT(lat.gic_access(h), lat.gic_access(h + 1));
+  }
+}
+
+TEST(Latency, PerHopGradientIsLinear) {
+  ChipConfig cfg;
+  LatencyModel lat(cfg);
+  const TimePs d1 = lat.mpb_access(1) - lat.mpb_access(0);
+  const TimePs d2 = lat.mpb_access(5) - lat.mpb_access(4);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, lat.mesh_round_trip(1));
+}
+
+TEST(Latency, PostedStoresAreCheaperThanLoads) {
+  ChipConfig cfg;
+  LatencyModel lat(cfg);
+  for (int h = 0; h <= 8; ++h) {
+    EXPECT_LT(lat.dram_write(h), lat.dram_access(h)) << h << " hops";
+    EXPECT_LT(lat.mpb_write(h), lat.mpb_access(h) + 1) << h << " hops";
+  }
+  // One-way vs round trip: the write's mesh share is half the read's.
+  EXPECT_EQ(lat.mesh_one_way(4) * 2, lat.mesh_round_trip(4));
+}
+
+TEST(Latency, DramReadMatchesDocumentedApproximation) {
+  ChipConfig cfg;
+  LatencyModel lat(cfg);
+  // 60 core cycles + 110 DRAM cycles at 0 hops ~ 250 ns.
+  const double ns = static_cast<double>(lat.dram_access(0)) / 1000.0;
+  EXPECT_GT(ns, 200.0);
+  EXPECT_LT(ns, 300.0);
+}
+
+TEST(Latency, FrequencyScalingAffectsCoreShareOnly) {
+  ChipConfig slow;
+  slow.core_mhz = 200;
+  ChipConfig fast;
+  fast.core_mhz = 800;
+  LatencyModel lat_slow(slow);
+  LatencyModel lat_fast(fast);
+  // Core-cycle costs scale with the core clock...
+  EXPECT_GT(lat_slow.l2_hit(), lat_fast.l2_hit());
+  // ...but the mesh share does not.
+  EXPECT_EQ(lat_slow.mesh_round_trip(3), lat_fast.mesh_round_trip(3));
+}
+
+}  // namespace
+}  // namespace msvm::scc

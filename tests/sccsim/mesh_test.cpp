@@ -1,0 +1,128 @@
+// Topology tests: core/tile mapping, hop distances, memory-controller and
+// system-interface placement.
+#include "sccsim/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sccsim/addrmap.hpp"
+#include "sccsim/config.hpp"
+
+namespace msvm::scc {
+namespace {
+
+TEST(Mesh, CoreToTileMapping) {
+  EXPECT_EQ(Mesh::tile_of_core(0), 0);
+  EXPECT_EQ(Mesh::tile_of_core(1), 0);
+  EXPECT_EQ(Mesh::tile_of_core(2), 1);
+  EXPECT_EQ(Mesh::tile_of_core(47), 23);
+}
+
+TEST(Mesh, TileCoordinates) {
+  EXPECT_EQ(Mesh::coord_of_tile(0), (TileCoord{0, 0}));
+  EXPECT_EQ(Mesh::coord_of_tile(5), (TileCoord{5, 0}));
+  EXPECT_EQ(Mesh::coord_of_tile(6), (TileCoord{0, 1}));
+  EXPECT_EQ(Mesh::coord_of_tile(23), (TileCoord{5, 3}));
+}
+
+TEST(Mesh, HopsAreManhattanDistance) {
+  EXPECT_EQ(Mesh::hops({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(Mesh::hops({0, 0}, {5, 3}), 8);
+  EXPECT_EQ(Mesh::hops({2, 1}, {4, 3}), 4);
+  EXPECT_EQ(Mesh::hops({4, 3}, {2, 1}), 4);  // symmetric
+}
+
+TEST(Mesh, SameTileCoresAreZeroHops) {
+  EXPECT_EQ(Mesh::hops_between_cores(0, 1), 0);
+  EXPECT_EQ(Mesh::hops_between_cores(46, 47), 0);
+}
+
+TEST(Mesh, PaperPingPongPairDistance) {
+  // The paper's Figure 7 benchmark uses cores 0 and 30 "with a distance
+  // of 5 hops". Core 0 -> tile 0 = (0,0); core 30 -> tile 15 = (3,2);
+  // Manhattan distance = 5. Our topology must reproduce that exactly.
+  EXPECT_EQ(Mesh::hops_between_cores(0, 30), 5);
+}
+
+TEST(Mesh, MaxDistanceOnChip) {
+  // Opposite mesh corners: (0,0) to (5,3) = 8 hops.
+  EXPECT_EQ(Mesh::hops_between_cores(0, 47), 8);
+}
+
+TEST(Mesh, NearestMcIsStable) {
+  for (int core = 0; core < Mesh::kMaxCores; ++core) {
+    const int mc = Mesh::nearest_mc(core);
+    ASSERT_GE(mc, 0);
+    ASSERT_LT(mc, Mesh::kNumMemControllers);
+    // No other MC may be strictly closer.
+    const int h = Mesh::hops_core_to_mc(core, mc);
+    for (int other = 0; other < Mesh::kNumMemControllers; ++other) {
+      EXPECT_LE(h, Mesh::hops_core_to_mc(core, other));
+    }
+  }
+}
+
+TEST(Mesh, CornersMapToTheirOwnMc) {
+  EXPECT_EQ(Mesh::nearest_mc(0), 0);    // tile (0,0)
+  EXPECT_EQ(Mesh::nearest_mc(10), 1);   // core 10 -> tile 5 = (5,0)
+  EXPECT_EQ(Mesh::nearest_mc(24), 2);   // core 24 -> tile 12 = (0,2)
+  EXPECT_EQ(Mesh::nearest_mc(34), 3);   // core 34 -> tile 17 = (5,2)
+}
+
+TEST(AddrMap, DecodeSharedDram) {
+  ChipConfig cfg;
+  AddrMap map(cfg);
+  const PhysTarget t = map.decode(kSharedBase + 100);
+  EXPECT_EQ(t.kind, MemKind::kSharedDram);
+  EXPECT_EQ(t.owner, 0);
+  EXPECT_EQ(t.offset, 100u);
+}
+
+TEST(AddrMap, SharedDramQuartersMapToFourMcs) {
+  ChipConfig cfg;
+  AddrMap map(cfg);
+  const u64 quarter = cfg.shared_dram_bytes / 4;
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(map.decode(kSharedBase + q * quarter).owner, q);
+    EXPECT_EQ(map.decode(kSharedBase + (q + 1) * quarter - 1).owner, q);
+  }
+}
+
+TEST(AddrMap, DecodePrivateDram) {
+  ChipConfig cfg;
+  AddrMap map(cfg);
+  const u64 base7 = map.private_base(7);
+  const PhysTarget t = map.decode(base7 + 42);
+  EXPECT_EQ(t.kind, MemKind::kPrivateDram);
+  EXPECT_EQ(t.owner, Mesh::nearest_mc(7));
+  EXPECT_EQ(t.offset, 7 * cfg.private_dram_bytes + 42);
+}
+
+TEST(AddrMap, DecodeMpb) {
+  ChipConfig cfg;
+  AddrMap map(cfg);
+  const PhysTarget t = map.decode(map.mpb_base(30) + 17);
+  EXPECT_EQ(t.kind, MemKind::kMpb);
+  EXPECT_EQ(t.owner, 30);
+  EXPECT_EQ(t.offset, 17u);
+  EXPECT_EQ(map.mpb_owner(map.mpb_base(30) + 17), 30);
+}
+
+TEST(AddrMap, DecodeInvalid) {
+  ChipConfig cfg;
+  AddrMap map(cfg);
+  EXPECT_EQ(map.decode(0xdead'0000'0000ull).kind, MemKind::kInvalid);
+}
+
+TEST(AddrMap, SharedRangeOfMcRoundTrips) {
+  ChipConfig cfg;
+  AddrMap map(cfg);
+  for (int mc = 0; mc < Mesh::kNumMemControllers; ++mc) {
+    const auto [lo, hi] = map.shared_range_of_mc(mc);
+    EXPECT_LT(lo, hi);
+    EXPECT_EQ(map.mc_of_shared_offset(lo), mc);
+    EXPECT_EQ(map.mc_of_shared_offset(hi - 1), mc);
+  }
+}
+
+}  // namespace
+}  // namespace msvm::scc

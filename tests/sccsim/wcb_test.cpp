@@ -1,0 +1,112 @@
+// Write-combine buffer tests: merging, conflict flush, dirty-byte masking
+// and load forwarding.
+#include "sccsim/wcb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msvm::scc {
+namespace {
+
+TEST(Wcb, EmptyBufferFlushesNothing) {
+  WriteCombineBuffer w(32);
+  EXPECT_FALSE(w.valid());
+  EXPECT_FALSE(w.flush().has_value());
+}
+
+TEST(Wcb, StoresToSameLineMerge) {
+  WriteCombineBuffer w(32);
+  const u64 a = 0x1000;
+  u32 v1 = 0x11111111;
+  u32 v2 = 0x22222222;
+  EXPECT_FALSE(w.store(a, &v1, 4).has_value());
+  EXPECT_FALSE(w.store(a + 4, &v2, 4).has_value());
+  EXPECT_TRUE(w.valid());
+  EXPECT_EQ(w.line_addr(), a);
+  EXPECT_EQ(w.dirty_mask(), 0xffull);  // bytes 0..7 dirty
+}
+
+TEST(Wcb, ConflictingLineRequestsFlushFirst) {
+  WriteCombineBuffer w(32);
+  u8 x = 1;
+  EXPECT_FALSE(w.store(0x1000, &x, 1).has_value());
+  auto flush = w.store(0x2000, &x, 1);  // different line
+  ASSERT_TRUE(flush.has_value());
+  EXPECT_EQ(flush->line_addr, 0x1000u);
+  EXPECT_EQ(flush->dirty_mask, 0x1ull);
+  // After the caller performs the flush, the retry succeeds.
+  EXPECT_FALSE(w.store(0x2000, &x, 1).has_value());
+  EXPECT_EQ(w.line_addr(), 0x2000u);
+}
+
+TEST(Wcb, DirtyMaskTracksExactBytes) {
+  WriteCombineBuffer w(32);
+  u8 x = 0xaa;
+  w.store(0x1003, &x, 1);
+  w.store(0x1010, &x, 1);
+  EXPECT_EQ(w.dirty_mask(), (u64{1} << 3) | (u64{1} << 16));
+}
+
+TEST(Wcb, FullLineStoreProducesFullMask) {
+  WriteCombineBuffer w(32);
+  u8 line[32] = {0};
+  w.store(0x2000, line, 32);
+  EXPECT_EQ(w.dirty_mask(), 0xffffffffull);
+}
+
+TEST(Wcb, ForwardOnlyWhenAllBytesDirty) {
+  WriteCombineBuffer w(32);
+  u32 v = 0xcafebabe;
+  w.store(0x1000, &v, 4);
+  u32 out = 0;
+  EXPECT_TRUE(w.forward(0x1000, &out, 4));
+  EXPECT_EQ(out, v);
+  // Bytes 4..7 were never written: a wider read cannot forward.
+  u64 wide = 0;
+  EXPECT_FALSE(w.forward(0x1000, &wide, 8));
+}
+
+TEST(Wcb, ForwardMissesOtherLines) {
+  WriteCombineBuffer w(32);
+  u32 v = 1;
+  w.store(0x1000, &v, 4);
+  u32 out;
+  EXPECT_FALSE(w.forward(0x2000, &out, 4));
+}
+
+TEST(Wcb, OverlapsDetectsPartialIntersection) {
+  WriteCombineBuffer w(32);
+  u8 x = 1;
+  w.store(0x1000, &x, 1);
+  EXPECT_TRUE(w.overlaps(0x1000, 1));
+  EXPECT_TRUE(w.overlaps(0x101f, 1));
+  EXPECT_FALSE(w.overlaps(0x1020, 1));
+  EXPECT_FALSE(w.overlaps(0x0fff, 1));
+}
+
+TEST(Wcb, FlushEmptiesAndReportsData) {
+  WriteCombineBuffer w(32);
+  u16 v = 0xbeef;
+  w.store(0x3008, &v, 2);
+  auto flush = w.flush();
+  ASSERT_TRUE(flush.has_value());
+  EXPECT_EQ(flush->line_addr, 0x3000u);
+  EXPECT_EQ(flush->dirty_mask, u64{0x3} << 8);
+  EXPECT_EQ(flush->data[8], 0xef);
+  EXPECT_EQ(flush->data[9], 0xbe);
+  EXPECT_FALSE(w.valid());
+  EXPECT_FALSE(w.flush().has_value());
+}
+
+TEST(Wcb, OverwriteWithinBufferKeepsLatestValue) {
+  WriteCombineBuffer w(32);
+  u32 v1 = 0x11111111;
+  u32 v2 = 0x22222222;
+  w.store(0x1000, &v1, 4);
+  w.store(0x1000, &v2, 4);
+  u32 out = 0;
+  ASSERT_TRUE(w.forward(0x1000, &out, 4));
+  EXPECT_EQ(out, v2);
+}
+
+}  // namespace
+}  // namespace msvm::scc

@@ -1,0 +1,171 @@
+// Property tests over the SVM protocol matrix (model x mailbox mode x
+// core count): a randomised lock-protected workload must produce the
+// arithmetic reference result in every configuration, and the strong
+// model's single-owner invariant must hold whenever the system is
+// quiescent.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/rng.hpp"
+#include "svm/svm.hpp"
+
+namespace msvm::svm {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::Node;
+
+using MatrixParam = std::tuple<Model, bool /*use_ipi*/, int /*cores*/>;
+
+class SvmMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(SvmMatrix, RandomLockedIncrementsSumExactly) {
+  const auto [model, use_ipi, cores] = GetParam();
+  constexpr u32 kCells = 64;   // u64 cells spread over 2 pages
+  constexpr u32 kOpsPerCore = 300;
+  constexpr u32 kStripes = 4;
+
+  ClusterConfig cfg;
+  cfg.chip.num_cores = cores;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.chip.private_dram_bytes = 1 << 20;
+  cfg.svm.model = model;
+  cfg.use_ipi = use_ipi;
+  Cluster cl(cfg);
+
+  // Reference: addition commutes, so the expected cell sums are
+  // independent of the simulated interleaving.
+  std::vector<u64> expect(kCells, 0);
+  for (int r = 0; r < cores; ++r) {
+    sim::Rng rng(1000 + static_cast<u64>(r));
+    for (u32 op = 0; op < kOpsPerCore; ++op) {
+      // Draw in the same order as the simulated workload (compound
+      // assignment would sequence the RHS draw first).
+      const u64 cell = rng.next_below(kCells);
+      const u64 inc = rng.next_range(1, 9);
+      expect[cell] += inc;
+    }
+  }
+
+  std::vector<u64> got(kCells, 0);
+  cl.run([&](Node& n) {
+    const u64 base = n.svm().alloc(kCells * 8 + 4096);
+    n.svm().barrier();
+    sim::Rng rng(1000 + static_cast<u64>(n.rank()));
+    for (u32 op = 0; op < kOpsPerCore; ++op) {
+      const u64 cell = rng.next_below(kCells);
+      const u64 inc = rng.next_range(1, 9);
+      const int stripe = static_cast<int>(cell % kStripes);
+      n.svm().lock_acquire(stripe);
+      const u64 cur = n.svm().read<u64>(base + cell * 8);
+      n.svm().write<u64>(base + cell * 8, cur + inc);
+      n.svm().lock_release(stripe);
+    }
+    n.svm().barrier();
+    if (n.rank() == 0) {
+      for (u32 c = 0; c < kCells; ++c) {
+        got[c] = n.svm().read<u64>(base + c * 8);
+      }
+    }
+    n.svm().barrier();
+  });
+
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolMatrix, SvmMatrix,
+    ::testing::Combine(::testing::Values(Model::kStrong,
+                                         Model::kLazyRelease),
+                       ::testing::Bool(), ::testing::Values(2, 3, 5, 8)));
+
+TEST(SvmInvariant, StrongModelNeverHasTwoMappingsAtQuiescence) {
+  // After any barrier (a quiescent point), every SVM page may be mapped
+  // present on at most one core under the strong model.
+  constexpr int kCores = 6;
+  constexpr u64 kPages = 8;
+  ClusterConfig cfg;
+  cfg.chip.num_cores = kCores;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.svm.model = Model::kStrong;
+  Cluster cl(cfg);
+
+  int violations = 0;
+  u64 base_out = 0;
+  cl.run([&](Node& n) {
+    const u64 base = n.svm().alloc(kPages * 4096);
+    base_out = base;
+    n.svm().barrier();
+    sim::Rng rng(77 + static_cast<u64>(n.rank()));
+    for (int round = 0; round < 6; ++round) {
+      for (int op = 0; op < 20; ++op) {
+        const u64 page = rng.next_below(kPages);
+        n.svm().write<u32>(base + page * 4096 + 8 * n.rank(),
+                           static_cast<u32>(op));
+      }
+      n.svm().barrier();
+      // Quiescent: rank 0 audits every core's page table (host-side
+      // introspection, no simulated cost).
+      if (n.rank() == 0) {
+        for (u64 page = 0; page < kPages; ++page) {
+          int mapped = 0;
+          for (int c = 0; c < kCores; ++c) {
+            const scc::Pte* pte =
+                cl.node(c).core().pagetable().find(base + page * 4096);
+            if (pte != nullptr && pte->present) ++mapped;
+          }
+          if (mapped > 1) ++violations;
+        }
+      }
+      n.svm().barrier();
+    }
+  });
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(SvmInvariant, OwnerVectorAlwaysNamesTheMappedCore) {
+  // Companion invariant: whenever a core holds a present mapping at
+  // quiescence, the owner vector must name exactly that core.
+  constexpr int kCores = 4;
+  constexpr u64 kPages = 4;
+  ClusterConfig cfg;
+  cfg.chip.num_cores = kCores;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.svm.model = Model::kStrong;
+  Cluster cl(cfg);
+
+  int mismatches = 0;
+  cl.run([&](Node& n) {
+    const u64 base = n.svm().alloc(kPages * 4096);
+    n.svm().barrier();
+    sim::Rng rng(5 + static_cast<u64>(n.rank()));
+    for (int op = 0; op < 40; ++op) {
+      const u64 page = rng.next_below(kPages);
+      n.svm().write<u32>(base + page * 4096, static_cast<u32>(op));
+    }
+    n.svm().barrier();
+    if (n.rank() == 0) {
+      for (u64 page = 0; page < kPages; ++page) {
+        for (int c = 0; c < kCores; ++c) {
+          const scc::Pte* pte =
+              cl.node(c).core().pagetable().find(base + page * 4096);
+          if (pte != nullptr && pte->present) {
+            const u16 owner = n.core().pload<u16>(
+                cl.domain().owner_entry_paddr(page),
+                scc::MemPolicy::kUncached);
+            if (owner != c) ++mismatches;
+          }
+        }
+      }
+    }
+    n.svm().barrier();
+  });
+  EXPECT_EQ(mismatches, 0);
+}
+
+}  // namespace
+}  // namespace msvm::svm

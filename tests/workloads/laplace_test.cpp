@@ -1,0 +1,161 @@
+// End-to-end validation of the Laplace workload: all three variants must
+// produce the reference solution, with the consistency-model and
+// message-count side effects the paper describes.
+#include "workloads/laplace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msvm::workloads {
+namespace {
+
+LaplaceParams small_params() {
+  LaplaceParams p;
+  p.nx = 64;
+  p.ny = 32;
+  p.iterations = 6;
+  return p;
+}
+
+TEST(LaplaceRows, PartitionCoversAllRowsExactlyOnce) {
+  for (const int n : {1, 2, 3, 7, 48}) {
+    u32 covered = 0;
+    u32 prev_last = 0;
+    for (int r = 0; r < n; ++r) {
+      const auto [first, last] = laplace_rows_of_rank(1024, r, n);
+      EXPECT_EQ(first, prev_last);
+      EXPECT_LE(first, last);
+      covered += last - first;
+      prev_last = last;
+    }
+    EXPECT_EQ(covered, 1024u);
+    EXPECT_EQ(prev_last, 1024u);
+  }
+}
+
+TEST(LaplaceRows, PaperGeometryRowsArePageAligned) {
+  // 512 doubles per row = exactly one 4 KiB page (the property the
+  // paper's ownership traffic depends on).
+  EXPECT_EQ(512 * sizeof(double), 4096u);
+}
+
+TEST(LaplaceReference, HeatFlowsIntoTheSheet) {
+  LaplaceParams p = small_params();
+  const double cold = [&] {
+    LaplaceParams q = p;
+    q.iterations = 0;
+    return laplace_reference_checksum(q);
+  }();
+  const double warm = laplace_reference_checksum(p);
+  // Top edge stays hot and interior warms up, so the checksum grows.
+  EXPECT_GT(warm, cold);
+}
+
+struct VariantCase {
+  const char* name;
+  int cores;
+};
+
+class LaplaceVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaplaceVariants, SvmLazyMatchesReference) {
+  LaplaceParams p = small_params();
+  const double expect = laplace_reference_checksum(p);
+  const LaplaceResult r =
+      run_laplace_svm(p, svm::Model::kLazyRelease, GetParam());
+  EXPECT_NEAR(r.checksum, expect, 1e-9 * std::abs(expect));
+}
+
+TEST_P(LaplaceVariants, SvmStrongMatchesReference) {
+  LaplaceParams p = small_params();
+  const double expect = laplace_reference_checksum(p);
+  const LaplaceResult r =
+      run_laplace_svm(p, svm::Model::kStrong, GetParam());
+  EXPECT_NEAR(r.checksum, expect, 1e-9 * std::abs(expect));
+}
+
+TEST_P(LaplaceVariants, IrcceMatchesReference) {
+  LaplaceParams p = small_params();
+  const double expect = laplace_reference_checksum(p);
+  const LaplaceResult r = run_laplace_ircce(p, GetParam());
+  EXPECT_NEAR(r.checksum, expect, 1e-9 * std::abs(expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, LaplaceVariants,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Laplace, StrongModelFaultsPerIterationAreSmall) {
+  // Section 7.2.2: "each iteration triggers two page faults" per core —
+  // ownership ping-pong on the boundary rows only. This requires the
+  // paper's geometry where one row is exactly one page (nx = 512); with
+  // narrower rows several ranks share a page and ownership thrashes far
+  // more. Allow a small constant factor (our accounting counts both
+  // boundary directions).
+  // Geometry matters twice here: one row must be one page (nx = 512, as
+  // in the paper) AND each rank needs enough rows that its boundary-row
+  // sweep does not overlap its neighbour's in time — with tiny blocks
+  // both cores read the shared boundary rows concurrently and steal the
+  // page per *cell*, not per iteration. The paper's 1024/48 ~ 21 rows
+  // per core keeps the windows apart; we use 16 rows per core.
+  LaplaceParams p;
+  p.nx = 512;
+  p.ny = 64;
+  p.iterations = 8;
+  const LaplaceResult r = run_laplace_svm(p, svm::Model::kStrong, 4);
+  const double per_core_iter = static_cast<double>(r.ownership_acquires) /
+                               (4.0 * p.iterations);
+  // The paper counts the two ghost-row pulls; a full accounting adds the
+  // steal-backs of the core's own boundary rows in both arrays (~6 per
+  // core per iteration). Either way the overhead stays O(1) pages per
+  // iteration — the property behind the "overhead is negligible" claim.
+  EXPECT_GE(per_core_iter, 1.0);
+  EXPECT_LE(per_core_iter, 8.0);
+}
+
+TEST(Laplace, LazyModelHasNoSteadyStateFaults) {
+  LaplaceParams p = small_params();
+  const LaplaceResult r = run_laplace_svm(p, svm::Model::kLazyRelease, 4);
+  EXPECT_EQ(r.ownership_acquires, 0u);
+  // After warm-up, pages are mapped everywhere: the only faults are the
+  // per-core mapping faults on neighbour boundary rows (not per
+  // iteration).
+  EXPECT_LT(r.page_faults, 2u * 4u * p.iterations);
+}
+
+TEST(Laplace, IrcceMessagesMatchGhostExchange) {
+  LaplaceParams p = small_params();
+  const int cores = 4;
+  const LaplaceResult r = run_laplace_ircce(p, cores);
+  // Each iteration: every interior neighbour pair exchanges two rows.
+  const u64 row_bytes = p.nx * 8;
+  const u64 expect =
+      static_cast<u64>(p.iterations) * 2 * (cores - 1) * row_bytes;
+  EXPECT_EQ(r.bytes_messaged, expect);
+}
+
+TEST(Laplace, SvmUsesWcbAndIrcceDoesNot) {
+  // The central asymmetry behind Figure 9: SVM pages are MPBT-typed and
+  // write through the combine buffer; the private arrays of the
+  // message-passing variant are not, so every store is its own DRAM
+  // transaction.
+  LaplaceParams p = small_params();
+  const LaplaceResult svm_r =
+      run_laplace_svm(p, svm::Model::kLazyRelease, 2);
+  const LaplaceResult mp_r = run_laplace_ircce(p, 2);
+  EXPECT_GT(svm_r.wcb_flushes, 100u);
+  EXPECT_EQ(mp_r.wcb_flushes, 0u);
+  // And the mirror image: only the MP variant can hit in the L2.
+  EXPECT_EQ(svm_r.l2_hits, 0u);
+  EXPECT_GT(mp_r.l2_hits, 0u);
+}
+
+TEST(Laplace, DeterministicAcrossRuns) {
+  LaplaceParams p = small_params();
+  const LaplaceResult a = run_laplace_svm(p, svm::Model::kStrong, 3);
+  const LaplaceResult b = run_laplace_svm(p, svm::Model::kStrong, 3);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.page_faults, b.page_faults);
+}
+
+}  // namespace
+}  // namespace msvm::workloads

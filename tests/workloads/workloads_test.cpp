@@ -1,0 +1,179 @@
+// Validation of the remaining workloads: mailbox ping-pong shape,
+// Table-1 overheads, histogram correctness, matmul correctness and the
+// read-only-region effect.
+#include <gtest/gtest.h>
+
+#include "workloads/histogram.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/pingpong.hpp"
+#include "workloads/svm_overhead.hpp"
+
+namespace msvm::workloads {
+namespace {
+
+TEST(PingPong, LatencyGrowsWithDistancePollMode) {
+  PingPongParams p;
+  p.use_ipi = false;
+  p.reps = 50;
+  p.core_a = 0;
+  p.core_b = 1;  // same tile: 0 hops
+  const TimePs near = run_mailbox_pingpong(p).half_rtt_mean;
+  p.core_b = 47;  // opposite corner: 8 hops
+  const TimePs far = run_mailbox_pingpong(p).half_rtt_mean;
+  EXPECT_GT(far, near);
+  // "increases linear according to the distance with a very low
+  // gradient": the 8-hop latency stays well under 2x the 0-hop latency.
+  EXPECT_LT(far, 2 * near);
+}
+
+TEST(PingPong, IpiCostsMoreThanPollingWithTwoCores) {
+  // Figure 6: with only two active cores the polling variant checks a
+  // single slot and beats the interrupt-driven path.
+  PingPongParams p;
+  p.reps = 50;
+  p.activated_cores = 2;
+  p.use_ipi = false;
+  const TimePs poll = run_mailbox_pingpong(p).half_rtt_mean;
+  p.use_ipi = true;
+  const TimePs ipi = run_mailbox_pingpong(p).half_rtt_mean;
+  EXPECT_GT(ipi, poll);
+}
+
+TEST(PingPong, PollLatencyGrowsWithActivatedCores) {
+  // Figure 7, curve 1: more activated cores = more slots to scan.
+  PingPongParams p;
+  p.use_ipi = false;
+  p.reps = 40;
+  p.activated_cores = 2;
+  const TimePs few = run_mailbox_pingpong(p).half_rtt_mean;
+  p.activated_cores = 24;
+  const TimePs many = run_mailbox_pingpong(p).half_rtt_mean;
+  EXPECT_GT(many, few * 3 / 2);
+}
+
+TEST(PingPong, IpiLatencyFlatInActivatedCores) {
+  // Figure 7, curve 2.
+  PingPongParams p;
+  p.use_ipi = true;
+  p.reps = 40;
+  p.activated_cores = 2;
+  const TimePs few = run_mailbox_pingpong(p).half_rtt_mean;
+  p.activated_cores = 24;
+  const TimePs many = run_mailbox_pingpong(p).half_rtt_mean;
+  const double ratio = static_cast<double>(many) / static_cast<double>(few);
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(PingPong, BackgroundNoiseBarelyPerturbsIpiLatency) {
+  // Figure 7, curve 3: "the average latency is on a similar level ...
+  // compared to the benchmark without background noise".
+  PingPongParams p;
+  p.use_ipi = true;
+  p.reps = 40;
+  p.activated_cores = 16;
+  p.background_noise = false;
+  const TimePs quiet = run_mailbox_pingpong(p).half_rtt_mean;
+  p.background_noise = true;
+  const TimePs noisy = run_mailbox_pingpong(p).half_rtt_mean;
+  const double ratio =
+      static_cast<double>(noisy) / static_cast<double>(quiet);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(SvmOverhead, AllocationCostIndependentOfModel) {
+  SvmOverheadParams p;
+  p.bytes = 1 << 20;
+  p.model = svm::Model::kLazyRelease;
+  const auto lazy = run_svm_overhead(p);
+  p.model = svm::Model::kStrong;
+  const auto strong = run_svm_overhead(p);
+  // Table 1 row 1: both models reserve address space identically (the
+  // sub-0.1% difference comes from the Lazy barrier's CL1INVMB).
+  EXPECT_NEAR(static_cast<double>(lazy.alloc_total),
+              static_cast<double>(strong.alloc_total),
+              0.002 * static_cast<double>(lazy.alloc_total));
+  // Row 2: the first-touch path is identical too ("values are
+  // independent from the used memory model").
+  const double ratio = static_cast<double>(lazy.phys_alloc_per_page) /
+                       static_cast<double>(strong.phys_alloc_per_page);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST(SvmOverhead, StrongMappingCostExceedsLazy) {
+  SvmOverheadParams p;
+  p.bytes = 1 << 20;
+  p.model = svm::Model::kLazyRelease;
+  const auto lazy = run_svm_overhead(p);
+  p.model = svm::Model::kStrong;
+  const auto strong = run_svm_overhead(p);
+  // Table 1 row 3: 10.2 us (strong) vs 2.4 us (lazy).
+  EXPECT_GT(strong.map_per_page, 2 * lazy.map_per_page);
+  // Row 4: retrieval cost only exists under the strong model.
+  EXPECT_GT(strong.retrieve_per_page, 10 * lazy.retrieve_per_page);
+}
+
+TEST(SvmOverhead, PhysicalAllocationDominatesMapping) {
+  // Table 1 row 2 (112 us) is an order of magnitude above row 3.
+  SvmOverheadParams p;
+  p.bytes = 1 << 20;
+  const auto r = run_svm_overhead(p);
+  EXPECT_GT(r.phys_alloc_per_page, 3 * r.map_per_page);
+}
+
+class HistogramModels
+    : public ::testing::TestWithParam<std::tuple<svm::Model, int>> {};
+
+TEST_P(HistogramModels, MatchesReference) {
+  const auto [model, cores] = GetParam();
+  HistogramParams p;
+  p.bins = 64;
+  p.samples_per_core = 512;
+  const HistogramResult r = run_histogram(p, model, cores);
+  const auto expect = histogram_reference(p, cores);
+  EXPECT_EQ(r.bins, expect);
+  EXPECT_EQ(r.total_samples,
+            static_cast<u64>(cores) * p.samples_per_core);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndCores, HistogramModels,
+    ::testing::Combine(::testing::Values(svm::Model::kLazyRelease,
+                                         svm::Model::kStrong),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(Matmul, MatchesReferenceLazy) {
+  MatmulParams p;
+  p.n = 32;
+  const double expect = matmul_reference_checksum(p);
+  const MatmulResult r = run_matmul(p, svm::Model::kLazyRelease, 4);
+  EXPECT_NEAR(r.checksum, expect, 1e-9 * expect);
+}
+
+TEST(Matmul, MatchesReferenceStrongWithProtectedInputs) {
+  MatmulParams p;
+  p.n = 32;
+  const double expect = matmul_reference_checksum(p);
+  const MatmulResult r = run_matmul(p, svm::Model::kStrong, 4);
+  EXPECT_NEAR(r.checksum, expect, 1e-9 * expect);
+}
+
+TEST(Matmul, ReadOnlyInputsEnableL2AndKillOwnershipTraffic) {
+  MatmulParams p;
+  // n = 64: each matrix is 32 KiB (larger than L1, so the read-only L2
+  // path is visible) and each rank's C block is page-aligned.
+  p.n = 64;
+  p.protect_inputs = true;
+  const MatmulResult with = run_matmul(p, svm::Model::kStrong, 2);
+  p.protect_inputs = false;
+  const MatmulResult without = run_matmul(p, svm::Model::kStrong, 2);
+  EXPECT_GT(with.l2_hits, 0u);
+  // Unprotected inputs bounce ownership between the two cores' reads.
+  EXPECT_GT(without.ownership_acquires, 4 * with.ownership_acquires);
+  // And the protected run is faster.
+  EXPECT_LT(with.elapsed, without.elapsed);
+}
+
+}  // namespace
+}  // namespace msvm::workloads
