@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_barrier.cpp" "bench/CMakeFiles/ablation_barrier.dir/ablation_barrier.cpp.o" "gcc" "bench/CMakeFiles/ablation_barrier.dir/ablation_barrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/msvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/msvm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/msvm_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcce/CMakeFiles/msvm_rcce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mailbox/CMakeFiles/msvm_mailbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/msvm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sccsim/CMakeFiles/msvm_sccsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msvm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polling_vs_ipi.dir/ablation_polling_vs_ipi.cpp.o"
+  "CMakeFiles/ablation_polling_vs_ipi.dir/ablation_polling_vs_ipi.cpp.o.d"
+  "ablation_polling_vs_ipi"
+  "ablation_polling_vs_ipi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polling_vs_ipi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

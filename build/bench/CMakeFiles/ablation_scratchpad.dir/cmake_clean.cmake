@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scratchpad.dir/ablation_scratchpad.cpp.o"
+  "CMakeFiles/ablation_scratchpad.dir/ablation_scratchpad.cpp.o.d"
+  "ablation_scratchpad"
+  "ablation_scratchpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wcb.dir/ablation_wcb.cpp.o"
+  "CMakeFiles/ablation_wcb.dir/ablation_wcb.cpp.o.d"
+  "ablation_wcb"
+  "ablation_wcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mailbox_distance.dir/fig6_mailbox_distance.cpp.o"
+  "CMakeFiles/fig6_mailbox_distance.dir/fig6_mailbox_distance.cpp.o.d"
+  "fig6_mailbox_distance"
+  "fig6_mailbox_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mailbox_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mailbox_cores.dir/fig7_mailbox_cores.cpp.o"
+  "CMakeFiles/fig7_mailbox_cores.dir/fig7_mailbox_cores.cpp.o.d"
+  "fig7_mailbox_cores"
+  "fig7_mailbox_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mailbox_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

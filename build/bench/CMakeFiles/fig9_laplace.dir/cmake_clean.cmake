@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_laplace.dir/fig9_laplace.cpp.o"
+  "CMakeFiles/fig9_laplace.dir/fig9_laplace.cpp.o.d"
+  "fig9_laplace"
+  "fig9_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

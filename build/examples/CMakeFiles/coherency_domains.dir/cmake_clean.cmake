@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherency_domains.dir/coherency_domains.cpp.o"
+  "CMakeFiles/coherency_domains.dir/coherency_domains.cpp.o.d"
+  "coherency_domains"
+  "coherency_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherency_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_locks.dir/histogram_locks.cpp.o"
+  "CMakeFiles/histogram_locks.dir/histogram_locks.cpp.o.d"
+  "histogram_locks"
+  "histogram_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailbox_pingpong.dir/mailbox_pingpong.cpp.o"
+  "CMakeFiles/mailbox_pingpong.dir/mailbox_pingpong.cpp.o.d"
+  "mailbox_pingpong"
+  "mailbox_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailbox_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

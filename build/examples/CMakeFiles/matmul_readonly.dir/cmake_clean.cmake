@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_readonly.dir/matmul_readonly.cpp.o"
+  "CMakeFiles/matmul_readonly.dir/matmul_readonly.cpp.o.d"
+  "matmul_readonly"
+  "matmul_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

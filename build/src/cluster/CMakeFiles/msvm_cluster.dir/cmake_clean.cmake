@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/msvm_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/msvm_cluster.dir/report.cpp.o"
+  "CMakeFiles/msvm_cluster.dir/report.cpp.o.d"
+  "libmsvm_cluster.a"
+  "libmsvm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/msvm_kernel.dir/kernel.cpp.o.d"
+  "libmsvm_kernel.a"
+  "libmsvm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

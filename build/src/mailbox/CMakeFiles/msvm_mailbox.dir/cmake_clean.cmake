@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_mailbox.dir/mailbox.cpp.o"
+  "CMakeFiles/msvm_mailbox.dir/mailbox.cpp.o.d"
+  "libmsvm_mailbox.a"
+  "libmsvm_mailbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

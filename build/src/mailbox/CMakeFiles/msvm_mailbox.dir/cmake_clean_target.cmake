@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsvm_mailbox.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_rcce.dir/rcce.cpp.o"
+  "CMakeFiles/msvm_rcce.dir/rcce.cpp.o.d"
+  "libmsvm_rcce.a"
+  "libmsvm_rcce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_rcce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_sccsim.dir/chip.cpp.o"
+  "CMakeFiles/msvm_sccsim.dir/chip.cpp.o.d"
+  "CMakeFiles/msvm_sccsim.dir/core.cpp.o"
+  "CMakeFiles/msvm_sccsim.dir/core.cpp.o.d"
+  "libmsvm_sccsim.a"
+  "libmsvm_sccsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_sccsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

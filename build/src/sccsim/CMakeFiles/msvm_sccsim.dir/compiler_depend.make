@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msvm_sccsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_sim.dir/fiber.cpp.o"
+  "CMakeFiles/msvm_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/msvm_sim.dir/log.cpp.o"
+  "CMakeFiles/msvm_sim.dir/log.cpp.o.d"
+  "CMakeFiles/msvm_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/msvm_sim.dir/scheduler.cpp.o.d"
+  "libmsvm_sim.a"
+  "libmsvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/svm.cpp" "src/svm/CMakeFiles/msvm_svm.dir/svm.cpp.o" "gcc" "src/svm/CMakeFiles/msvm_svm.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/msvm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mailbox/CMakeFiles/msvm_mailbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/sccsim/CMakeFiles/msvm_sccsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msvm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

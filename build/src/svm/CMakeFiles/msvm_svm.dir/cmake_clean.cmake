@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_svm.dir/svm.cpp.o"
+  "CMakeFiles/msvm_svm.dir/svm.cpp.o.d"
+  "libmsvm_svm.a"
+  "libmsvm_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

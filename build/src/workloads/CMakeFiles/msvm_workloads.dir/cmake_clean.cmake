@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvm_workloads.dir/histogram.cpp.o"
+  "CMakeFiles/msvm_workloads.dir/histogram.cpp.o.d"
+  "CMakeFiles/msvm_workloads.dir/laplace.cpp.o"
+  "CMakeFiles/msvm_workloads.dir/laplace.cpp.o.d"
+  "CMakeFiles/msvm_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/msvm_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/msvm_workloads.dir/pingpong.cpp.o"
+  "CMakeFiles/msvm_workloads.dir/pingpong.cpp.o.d"
+  "CMakeFiles/msvm_workloads.dir/svm_overhead.cpp.o"
+  "CMakeFiles/msvm_workloads.dir/svm_overhead.cpp.o.d"
+  "libmsvm_workloads.a"
+  "libmsvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_report.dir/cluster/report_test.cpp.o"
+  "CMakeFiles/test_cluster_report.dir/cluster/report_test.cpp.o.d"
+  "test_cluster_report"
+  "test_cluster_report.pdb"
+  "test_cluster_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mailbox_stress.dir/mailbox/mailbox_stress_test.cpp.o"
+  "CMakeFiles/test_mailbox_stress.dir/mailbox/mailbox_stress_test.cpp.o.d"
+  "test_mailbox_stress"
+  "test_mailbox_stress.pdb"
+  "test_mailbox_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mailbox_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcce_collectives.dir/rcce/rcce_collectives_test.cpp.o"
+  "CMakeFiles/test_rcce_collectives.dir/rcce/rcce_collectives_test.cpp.o.d"
+  "test_rcce_collectives"
+  "test_rcce_collectives.pdb"
+  "test_rcce_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcce_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_cache.dir/sccsim/cache_test.cpp.o"
+  "CMakeFiles/test_sccsim_cache.dir/sccsim/cache_test.cpp.o.d"
+  "test_sccsim_cache"
+  "test_sccsim_cache.pdb"
+  "test_sccsim_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

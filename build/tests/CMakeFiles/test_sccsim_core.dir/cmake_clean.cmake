@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_core.dir/sccsim/core_test.cpp.o"
+  "CMakeFiles/test_sccsim_core.dir/sccsim/core_test.cpp.o.d"
+  "test_sccsim_core"
+  "test_sccsim_core.pdb"
+  "test_sccsim_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

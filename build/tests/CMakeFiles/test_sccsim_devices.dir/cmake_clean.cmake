@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_devices.dir/sccsim/devices_test.cpp.o"
+  "CMakeFiles/test_sccsim_devices.dir/sccsim/devices_test.cpp.o.d"
+  "test_sccsim_devices"
+  "test_sccsim_devices.pdb"
+  "test_sccsim_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_latency.dir/sccsim/latency_test.cpp.o"
+  "CMakeFiles/test_sccsim_latency.dir/sccsim/latency_test.cpp.o.d"
+  "test_sccsim_latency"
+  "test_sccsim_latency.pdb"
+  "test_sccsim_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_mesh.dir/sccsim/mesh_test.cpp.o"
+  "CMakeFiles/test_sccsim_mesh.dir/sccsim/mesh_test.cpp.o.d"
+  "test_sccsim_mesh"
+  "test_sccsim_mesh.pdb"
+  "test_sccsim_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_wcb.dir/sccsim/wcb_test.cpp.o"
+  "CMakeFiles/test_sccsim_wcb.dir/sccsim/wcb_test.cpp.o.d"
+  "test_sccsim_wcb"
+  "test_sccsim_wcb.pdb"
+  "test_sccsim_wcb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_wcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sccsim_wcb_property.dir/sccsim/wcb_property_test.cpp.o"
+  "CMakeFiles/test_sccsim_wcb_property.dir/sccsim/wcb_property_test.cpp.o.d"
+  "test_sccsim_wcb_property"
+  "test_sccsim_wcb_property.pdb"
+  "test_sccsim_wcb_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sccsim_wcb_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_util.dir/sim/util_test.cpp.o"
+  "CMakeFiles/test_sim_util.dir/sim/util_test.cpp.o.d"
+  "test_sim_util"
+  "test_sim_util.pdb"
+  "test_sim_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

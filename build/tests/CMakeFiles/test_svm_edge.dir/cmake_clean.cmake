@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm_edge.dir/svm/svm_edge_test.cpp.o"
+  "CMakeFiles/test_svm_edge.dir/svm/svm_edge_test.cpp.o.d"
+  "test_svm_edge"
+  "test_svm_edge.pdb"
+  "test_svm_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm_fault_injection.dir/svm/svm_fault_injection_test.cpp.o"
+  "CMakeFiles/test_svm_fault_injection.dir/svm/svm_fault_injection_test.cpp.o.d"
+  "test_svm_fault_injection"
+  "test_svm_fault_injection.pdb"
+  "test_svm_fault_injection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

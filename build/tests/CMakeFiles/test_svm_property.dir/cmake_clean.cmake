@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm_property.dir/svm/svm_property_test.cpp.o"
+  "CMakeFiles/test_svm_property.dir/svm/svm_property_test.cpp.o.d"
+  "test_svm_property"
+  "test_svm_property.pdb"
+  "test_svm_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_laplace.dir/workloads/laplace_test.cpp.o"
+  "CMakeFiles/test_workloads_laplace.dir/workloads/laplace_test.cpp.o.d"
+  "test_workloads_laplace"
+  "test_workloads_laplace.pdb"
+  "test_workloads_laplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

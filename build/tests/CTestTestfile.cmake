@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_wcb[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_mailbox[1]_include.cmake")
+include("/root/repo/build/tests/test_rcce[1]_include.cmake")
+include("/root/repo/build/tests/test_svm[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads_laplace[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_svm_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_cache_property[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_wcb_property[1]_include.cmake")
+include("/root/repo/build/tests/test_svm_property[1]_include.cmake")
+include("/root/repo/build/tests/test_rcce_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_mailbox_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_svm_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_latency[1]_include.cmake")
+include("/root/repo/build/tests/test_sccsim_devices[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_report[1]_include.cmake")
