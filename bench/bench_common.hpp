@@ -2,9 +2,15 @@
 // harnesses. Each bench binary regenerates one table or figure of the
 // paper (see DESIGN.md section 5) and prints paper values next to the
 // simulated measurements so EXPERIMENTS.md can be filled from the output.
+//
+// Alongside the human-readable table every bench can emit a
+// machine-readable BENCH_<name>.json (via JsonReport) so the perf
+// trajectory is diffable across commits.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -43,5 +49,79 @@ inline bool arg_flag(int argc, char** argv, const std::string& key) {
   }
   return false;
 }
+
+/// Machine-readable companion to the console tables: collects config
+/// key/values and named sample series, then writes BENCH_<name>.json
+/// into the working directory with count/median/p95 per series. The
+/// samples are whatever unit the bench measures (ms, round-trips, ...);
+/// the unit is part of the series name (e.g. "strong_ms").
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, "\"" + value + "\"");
+  }
+  void config(const std::string& key, u64 value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void config(const std::string& key, double value) {
+    config_.emplace_back(key, fmt_double(value));
+  }
+
+  void sample(const std::string& series, double value) {
+    series_[series].push_back(value);
+  }
+
+  /// Writes BENCH_<name>.json; idempotent (the destructor calls it too,
+  /// so a bench may flush early and keep sampling — last write wins).
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // CWD not writable: drop the companion
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {",
+                 name_.c_str());
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i ? "," : "",
+                   config_[i].first.c_str(), config_[i].second.c_str());
+    }
+    std::fprintf(f, "%s},\n  \"series\": {", config_.empty() ? "" : "\n  ");
+    bool first_series = true;
+    for (const auto& [series, raw] : series_) {
+      std::vector<double> v = raw;
+      std::sort(v.begin(), v.end());
+      std::fprintf(f, "%s\n    \"%s\": {\"count\": %zu, \"median\": %s, "
+                      "\"p95\": %s}",
+                   first_series ? "" : ",", series.c_str(), v.size(),
+                   fmt_double(percentile(v, 0.50)).c_str(),
+                   fmt_double(percentile(v, 0.95)).c_str());
+      first_series = false;
+    }
+    std::fprintf(f, "%s}\n}\n", series_.empty() ? "" : "\n  ");
+    std::fclose(f);
+  }
+
+ private:
+  static std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  /// Nearest-rank percentile of an already-sorted sample vector.
+  static double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::map<std::string, std::vector<double>> series_;
+};
 
 }  // namespace msvm::bench

@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
       {10, 5}, {22, 6}, {34, 7}, {46, 8},
   };
 
+  bench::JsonReport json("fig6");
+  json.config("reps", static_cast<u64>(reps));
+
   std::printf("%8s %8s | %16s | %16s\n", "partner", "hops", "no-IPI [us]",
               "IPI [us]");
   bench::print_row_sep();
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
 
     std::printf("%8d %8d | %16.3f | %16.3f\n", pair.partner, pair.hops,
                 ps_to_us(poll), ps_to_us(ipi));
+    json.sample("poll_us", ps_to_us(poll));
+    json.sample("ipi_us", ps_to_us(ipi));
   }
   bench::print_row_sep();
   std::printf(

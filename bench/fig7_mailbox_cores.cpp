@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
       "Figure 7 — mailbox latency core 0 <-> 30 vs. activated cores",
       "Lankes et al., PMAM'12, Section 7.1, Figure 7");
 
+  bench::JsonReport json("fig7");
+  json.config("reps", static_cast<u64>(reps));
+
   std::printf("%10s | %14s | %14s | %18s\n", "activated", "no-IPI [us]",
               "IPI [us]", "IPI+noise [us]");
   bench::print_row_sep();
@@ -44,6 +47,9 @@ int main(int argc, char** argv) {
 
     std::printf("%10d | %14.3f | %14.3f | %18.3f\n", activated,
                 ps_to_us(poll), ps_to_us(ipi), ps_to_us(noisy));
+    json.sample("poll_us", ps_to_us(poll));
+    json.sample("ipi_us", ps_to_us(ipi));
+    json.sample("ipi_noise_us", ps_to_us(noisy));
   }
   bench::print_row_sep();
   std::printf(

@@ -49,6 +49,11 @@ int main(int argc, char** argv) {
               "lazy [ms]", "speedup", "strong flt/it/core");
   bench::print_row_sep();
 
+  bench::JsonReport json("fig9");
+  json.config("nx", static_cast<u64>(p.nx));
+  json.config("ny", static_cast<u64>(p.ny));
+  json.config("iterations", static_cast<u64>(p.iterations));
+
   double base_mp = 0;
   double base_strong = 0;
   double base_lazy = 0;
@@ -74,6 +79,9 @@ int main(int argc, char** argv) {
                 base_strong / ps_to_ms(strong.elapsed),
                 ps_to_ms(lazy.elapsed), base_lazy / ps_to_ms(lazy.elapsed),
                 faults_per_iter);
+    json.sample("ircce_ms", ps_to_ms(mp.elapsed));
+    json.sample("strong_ms", ps_to_ms(strong.elapsed));
+    json.sample("lazy_ms", ps_to_ms(lazy.elapsed));
   }
   bench::print_row_sep();
   std::printf(

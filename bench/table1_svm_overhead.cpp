@@ -51,5 +51,15 @@ int main(int argc, char** argv) {
       "expected shape: rows 1-2 identical across models; strong mapping\n"
       "several times the lazy mapping; permission retrieval exists only\n"
       "under the strong model and is roughly (strong - lazy) mapping.\n");
+
+  bench::JsonReport json("table1");
+  json.config("mbytes", mbytes);
+  json.sample("strong_alloc_total_us", ps_to_us(strong.alloc_total));
+  json.sample("lazy_alloc_total_us", ps_to_us(lazy.alloc_total));
+  json.sample("strong_phys_alloc_us", ps_to_us(strong.phys_alloc_per_page));
+  json.sample("lazy_phys_alloc_us", ps_to_us(lazy.phys_alloc_per_page));
+  json.sample("strong_map_us", ps_to_us(strong.map_per_page));
+  json.sample("lazy_map_us", ps_to_us(lazy.map_per_page));
+  json.sample("strong_retrieve_us", ps_to_us(strong.retrieve_per_page));
   return 0;
 }

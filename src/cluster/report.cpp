@@ -77,6 +77,15 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
       svm_total.barriers += s.barriers;
       svm_total.lock_acquires += s.lock_acquires;
     }
+    scc::CoreCounters fault_total;
+    for (const int c : cluster.members()) {
+      const svm::SvmStats& s = cluster.node(c).svm().stats();
+      svm_total.replica_installs += s.replica_installs;
+      svm_total.replica_grants += s.replica_grants;
+      svm_total.invalidations_sent += s.invalidations_sent;
+      svm_total.invalidations_received += s.invalidations_received;
+      fault_total += cluster.node(c).core().counters();
+    }
     appendf(out,
             "svm: first-touch %llu, map %llu, own-acq %llu, own-serve "
             "%llu, fwd %llu, migrate %llu, barriers %llu, locks %llu\n",
@@ -88,6 +97,18 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
             static_cast<unsigned long long>(svm_total.migrations),
             static_cast<unsigned long long>(svm_total.barriers),
             static_cast<unsigned long long>(svm_total.lock_acquires));
+    appendf(out,
+            "svm-fault: rd %llu, wr %llu, mail-rtt %llu, inval tx %llu "
+            "rx %llu, replicas %llu, grants %llu, stall %.3f ms\n",
+            static_cast<unsigned long long>(fault_total.svm_read_faults),
+            static_cast<unsigned long long>(fault_total.svm_write_faults),
+            static_cast<unsigned long long>(
+                fault_total.svm_mail_roundtrips),
+            static_cast<unsigned long long>(fault_total.svm_inval_sent),
+            static_cast<unsigned long long>(fault_total.svm_inval_recv),
+            static_cast<unsigned long long>(svm_total.replica_installs),
+            static_cast<unsigned long long>(svm_total.replica_grants),
+            ps_to_ms(fault_total.svm_fault_stall_ps));
   }
 
   if (options.mailbox) {

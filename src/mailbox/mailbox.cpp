@@ -134,6 +134,21 @@ void MailboxSystem::send(int dest, const Mail& mail) {
   }
 }
 
+int MailboxSystem::multicast(u64 dest_mask, const Mail& mail) {
+  ++stats_.multicasts;
+  int sent = 0;
+  dest_mask &= ~(u64{1} << core_.id());  // never self: poll skips our slot
+  const int n = core_.chip().num_cores();
+  for (int dest = 0; dest < n && dest_mask != 0; ++dest, dest_mask >>= 1) {
+    if (dest_mask & 1) {
+      send(dest, mail);
+      ++sent;
+    }
+  }
+  assert(dest_mask == 0 && "multicast mask names a core beyond num_cores");
+  return sent;
+}
+
 void MailboxSystem::set_handler(u8 type, Handler handler) {
   handlers_[type] = std::move(handler);
 }
@@ -156,9 +171,18 @@ bool MailboxSystem::check_slot(int sender) {
   ++stats_.slot_checks;
   core_.compute_cycles(kSlotCheckCycles);
   const u64 slot = slot_paddr(core_.id(), sender);
+  // The flag read, payload read and flag clear must be atomic against
+  // our own interrupt handlers: an IPI/timer handler landing mid-consume
+  // would re-poll this very slot, find the flag still set, and dispatch
+  // the same mail twice. Dispatch happens after unmasking so handler
+  // code runs with normal interrupt delivery.
+  core_.irq_disable();
   const u8 flag =
       core_.pload<u8>(slot + kFlagOff, scc::MemPolicy::kUncached);
-  if (flag == 0) return false;
+  if (flag == 0) {
+    core_.irq_enable();
+    return false;
+  }
 
   Mail mail;
   u8 line[kMailBytes];
@@ -174,6 +198,7 @@ bool MailboxSystem::check_slot(int sender) {
                  sender);
   // Consuming the mail: clear the flag so the sender may reuse the slot.
   core_.pstore<u8>(slot + kFlagOff, 0, scc::MemPolicy::kUncached);
+  core_.irq_enable();
   ++stats_.received;
   core_.compute_cycles(kMailSoftwareCycles);
   dispatch(mail);

@@ -50,6 +50,7 @@ struct MailboxStats {
   u64 send_stalls = 0;      // send attempts that found the slot full
   u64 handler_dispatch = 0;
   u64 inbox_enqueued = 0;
+  u64 multicasts = 0;       // multicast() calls (fan-out counted in sent)
 };
 
 class MailboxSystem {
@@ -79,6 +80,14 @@ class MailboxSystem {
   /// Non-blocking send: returns false (without waiting) when dest's slot
   /// for this sender is still full.
   bool try_send(int dest, const Mail& mail);
+
+  /// Sends `mail` to every core whose bit is set in `dest_mask` (bit i =
+  /// core i), always excluding the calling core. There is no hardware
+  /// broadcast on the chip: the fan-out is a software loop of ordinary
+  /// sends, each paying the full deposit cost (the SVM invalidation
+  /// protocol amortises the latency by overlapping the ACK waits).
+  /// Returns the number of mails sent.
+  int multicast(u64 dest_mask, const Mail& mail);
 
   /// Registers a handler for a mail type. Handled types never reach the
   /// inbox; the handler runs in whatever context noticed the mail

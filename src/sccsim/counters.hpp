@@ -36,6 +36,15 @@ struct CoreCounters {
   u64 ipi_irqs = 0;
   u64 ipis_sent = 0;
 
+  // SVM fault path (maintained by the SVM layer, not the core itself;
+  // kept here so they aggregate and difference with everything else)
+  u64 svm_read_faults = 0;
+  u64 svm_write_faults = 0;
+  u64 svm_inval_sent = 0;
+  u64 svm_inval_recv = 0;
+  u64 svm_mail_roundtrips = 0;
+  TimePs svm_fault_stall_ps = 0;
+
   // virtual-time breakdown (picoseconds)
   TimePs busy_ps = 0;
 
@@ -65,6 +74,12 @@ struct CoreCounters {
     op(timer_irqs, o.timer_irqs);
     op(ipi_irqs, o.ipi_irqs);
     op(ipis_sent, o.ipis_sent);
+    op(svm_read_faults, o.svm_read_faults);
+    op(svm_write_faults, o.svm_write_faults);
+    op(svm_inval_sent, o.svm_inval_sent);
+    op(svm_inval_recv, o.svm_inval_recv);
+    op(svm_mail_roundtrips, o.svm_mail_roundtrips);
+    op(svm_fault_stall_ps, o.svm_fault_stall_ps);
     op(busy_ps, o.busy_ps);
   }
 

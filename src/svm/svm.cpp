@@ -1,6 +1,7 @@
 #include "svm/svm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -56,9 +57,13 @@ SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
   // Metadata at the tail of shared DRAM: 64 bytes of per-MC frame
   // counters, then the owner vector, then the off-die scratchpad area
   // (always reserved so the ablation flag does not change frame
-  // numbers). Sized for the whole chip so every slot sees the same
+  // numbers), then — only in read-replication mode, so that flag-off
+  // runs keep the paper's exact layout — one 8-byte directory sharer
+  // word per page. Sized for the whole chip so every slot sees the same
   // layout.
-  const u64 meta_bytes = 64 + 4 * total_capacity;
+  const u64 meta_bytes =
+      64 + 4 * total_capacity +
+      (cfg_.read_replication ? 8 * total_capacity : 0);
   if (round_up(meta_bytes, page) + page >= ccfg.shared_dram_bytes) {
     panic("shared DRAM too small for SVM metadata");
   }
@@ -111,6 +116,17 @@ u64 SvmDomain::scratchpad_entry_paddr(u64 page_idx) const {
   const int core = static_cast<int>(page_idx / entries_per_mpb_);
   const u32 off = static_cast<u32>(page_idx % entries_per_mpb_) * 2;
   return chip_.map().mpb_base(core) + kEntriesOff + off;
+}
+
+u64 SvmDomain::sharer_entry_paddr(u64 page_idx) const {
+  assert(cfg_.read_replication &&
+         "directory sharer words exist only in read-replication mode");
+  assert(page_idx >= page_index_base_ &&
+         page_idx < page_index_base_ + svm_page_capacity_);
+  const u64 total_capacity =
+      static_cast<u64>(chip_.config().num_cores) * entries_per_mpb_;
+  return scc::kSharedBase + meta_base_ + 64 + 4 * total_capacity +
+         8 * page_idx;
 }
 
 u64 SvmDomain::mc_counter_paddr(int mc) const {
@@ -197,6 +213,12 @@ Svm::Svm(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
       [this](u64 vaddr, bool is_write) { handle_fault(vaddr, is_write); });
   mbox_.set_handler(kMailOwnershipReq, [this](const mbox::Mail& m) {
     serve_ownership_request(m);
+  });
+  mbox_.set_handler(kMailReadReq, [this](const mbox::Mail& m) {
+    serve_read_request(m);
+  });
+  mbox_.set_handler(kMailInval, [this](const mbox::Mail& m) {
+    serve_invalidation(m);
   });
 }
 
@@ -296,6 +318,18 @@ void Svm::barrier_dissemination() {
   // not entered.
   const auto& members = domain_.members();
   const int n = static_cast<int>(members.size());
+  // The algorithm is exact for any n (power of two or not): ceil(log2 n)
+  // rounds of signal/wait at distances 1, 2, 4, ... — but each round
+  // needs its own flag byte, and the MPB layout reserves exactly
+  // kBarrierDissRounds per parity. Fail loudly rather than silently
+  // corrupting a neighbouring flag if a domain ever exceeds 2^rounds
+  // members.
+  u32 rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+  if (rounds > SvmDomain::kBarrierDissRounds) {
+    panic("dissemination barrier: domain has more members than the MPB "
+          "flag layout supports (kBarrierDissRounds rounds)");
+  }
   const u64 seq = diss_seq_++;
   const u32 parity = static_cast<u32>(seq % 2);
   const u8 sense = static_cast<u8>((seq / 2) % 2 + 1);
@@ -305,10 +339,10 @@ void Svm::barrier_dissemination() {
     const int to =
         members[static_cast<std::size_t>((rank_ + distance) % n)];
     core_.pstore<u8>(map.mpb_base(to) + SvmDomain::kBarrierDissOff +
-                         parity * 6 + round,
+                         parity * SvmDomain::kBarrierDissRounds + round,
                      sense, scc::MemPolicy::kUncached);
     const u64 own = map.mpb_base(core_.id()) + SvmDomain::kBarrierDissOff +
-                    parity * 6 + round;
+                    parity * SvmDomain::kBarrierDissRounds + round;
     // Rounds are short (one flag write away); a large backoff cap would
     // compound oversleeps across the log2(n) rounds.
     TimePs gap = 100 * kPsPerNs;
@@ -357,6 +391,14 @@ void Svm::unprotect(u64 vaddr, u64 bytes) {
   core_.l2().invalidate_all();
   core_.l1().invalidate_all();
   core_.compute_cycles(2000);  // software L2 flush is expensive (Sec. 3)
+  if (read_replication() && rank_ == 0) {
+    // Every core just dropped its mappings, so no replica survives; a
+    // stale Shared bit would let a future reader join the sharer set
+    // without a grant while the owner re-faults a writable mapping.
+    for (u64 off = 0; off < bytes; off += page) {
+      dir_write(page_index_of(vaddr + off), 0);
+    }
+  }
   region->readonly = false;
   barrier();
 }
@@ -379,6 +421,10 @@ void Svm::next_touch(u64 vaddr, u64 bytes) {
       if ((entry & kFrameMask) != 0) {
         scratchpad_write(idx, entry | kMigrateBit);
       }
+      // Migration installs a writable mapping without a directory
+      // transition; reset the entry to Exclusive so no reader trusts a
+      // stale Shared bit.
+      if (read_replication()) dir_write(idx, 0);
     }
   }
   barrier();  // marks visible before anyone touches
@@ -418,6 +464,16 @@ u16 Svm::owner_read(u64 page_idx) {
 
 void Svm::owner_write(u64 page_idx, u16 owner_core) {
   core_.pstore<u16>(domain_.owner_entry_paddr(page_idx), owner_core,
+                    scc::MemPolicy::kUncached);
+}
+
+u64 Svm::dir_read(u64 page_idx) {
+  return core_.pload<u64>(domain_.sharer_entry_paddr(page_idx),
+                          scc::MemPolicy::kUncached);
+}
+
+void Svm::dir_write(u64 page_idx, u64 word) {
+  core_.pstore<u64>(domain_.sharer_entry_paddr(page_idx), word,
                     scc::MemPolicy::kUncached);
 }
 
@@ -482,7 +538,35 @@ void Svm::zero_frame(u16 frame_no) {
 // ---------------------------------------------------------------------------
 // fault path
 
+namespace {
+
+/// Accumulates the virtual time spent inside the fault handler (protocol
+/// waits included) into the faulting core's stall telemetry; the RAII
+/// form also covers the SvmProtectionError throw.
+class FaultStallScope {
+ public:
+  explicit FaultStallScope(scc::Core& core)
+      : core_(core), t0_(core.now()) {}
+  ~FaultStallScope() {
+    core_.counters().svm_fault_stall_ps += core_.now() - t0_;
+  }
+  FaultStallScope(const FaultStallScope&) = delete;
+  FaultStallScope& operator=(const FaultStallScope&) = delete;
+
+ private:
+  scc::Core& core_;
+  TimePs t0_;
+};
+
+}  // namespace
+
 void Svm::handle_fault(u64 vaddr, bool is_write) {
+  if (is_write) {
+    ++core_.counters().svm_write_faults;
+  } else {
+    ++core_.counters().svm_read_faults;
+  }
+  FaultStallScope stall(core_);
   RegionAttrs* region = region_of(vaddr);
   if (region == nullptr) {
     std::fprintf(stderr,
@@ -499,8 +583,9 @@ void Svm::handle_fault(u64 vaddr, bool is_write) {
     return;
   }
   // Present but insufficient permission: a strong-model write to a page
-  // currently owned elsewhere would have been unmapped by the transfer,
-  // so this path only covers defensive re-acquisition.
+  // currently owned elsewhere would have been unmapped by the transfer
+  // (or, under read replication, to a page this core only holds a
+  // read-only replica of — the write upgrade).
   if (is_write && !pte->writable && model() == Model::kStrong) {
     acquire_ownership(vaddr, page_idx);
     return;
@@ -509,7 +594,6 @@ void Svm::handle_fault(u64 vaddr, bool is_write) {
 }
 
 void Svm::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
-  (void)is_write;
   core_.compute_cycles(domain_.config().map_software_cycles);
   const u64 page_base = vaddr & ~(u64{core_.chip().config().page_bytes} - 1);
   RegionAttrs* region = region_of(vaddr);
@@ -575,12 +659,19 @@ void Svm::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
     return;
   }
   if (model() == Model::kStrong) {
+    if (read_replication() && !is_write) {
+      // Read-replication fast path: a read fault joins the sharer set
+      // (one grant round-trip at most) instead of moving ownership.
+      acquire_read_replica(page_base, page_idx, frame);
+      return;
+    }
     // "the Strong Memory Model has to retrieve the access permissions
     // from the page owner" (Section 7.2.1) — for reads as much as writes,
     // since at each point in time only one owner may access the page.
     acquire_ownership(page_base, page_idx);
     return;
   }
+  (void)is_write;
   install_mapping(page_base, frame, /*writable=*/true);
 }
 
@@ -590,9 +681,13 @@ void Svm::acquire_ownership(u64 page_vaddr, u64 page_idx) {
   const u16 frame = scratchpad_read(page_idx) & kFrameMask;
 
   // Fast path: we already own the page (e.g. a mapping dropped by
-  // unprotect or next_touch on a page we kept owning).
+  // unprotect or next_touch on a page we kept owning). Under read
+  // replication the directory word must also be clear — a Shared page
+  // (even with an empty sharer set) needs the locked path below to
+  // invalidate replicas and reset the state to Exclusive.
   core_.irq_disable();
-  if (owner_read(page_idx) == core_.id()) {
+  if (owner_read(page_idx) == core_.id() &&
+      (!read_replication() || dir_read(page_idx) == 0)) {
     install_mapping(page_vaddr, frame, /*writable=*/true);
     core_.irq_enable();
     return;
@@ -623,6 +718,12 @@ void Svm::acquire_ownership(u64 page_vaddr, u64 page_idx) {
   }
   domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
   domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page_idx;
+
+  // Write upgrade, step 1 (read replication): multicast invalidations to
+  // every read replica and reset the directory to Exclusive. The sharer
+  // set is frozen while we hold the transfer lock — joining it requires
+  // the same lock.
+  if (read_replication()) invalidate_sharers(page_idx);
 
   u64 rounds = 0;
   for (;;) {
@@ -659,6 +760,7 @@ void Svm::acquire_ownership(u64 page_vaddr, u64 page_idx) {
       (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
         return m.type == kMailOwnershipAck && m.p0 == page_idx;
       });
+      ++core_.counters().svm_mail_roundtrips;
       MSVM_LOG_DEBUG("core %d: ACK page %llu consumed (owner now %u)",
                      core_.id(),
                      static_cast<unsigned long long>(page_idx),
@@ -728,6 +830,180 @@ void Svm::serve_ownership_request(const mbox::Mail& mail) {
     ack.p0 = page_idx;
     mbox_.send(requester, ack);
   }
+}
+
+// ---------------------------------------------------------------------------
+// read-replication directory protocol (SvmConfig::read_replication)
+//
+// The owner vector is extended by a per-page directory word holding the
+// sharer bitmask and the Exclusive/Shared state (see kDirSharedBit). All
+// directory transitions happen under the page's transfer lock, except the
+// Exclusive->Shared downgrade the owner performs on behalf of the lock
+// holder while serving its read request.
+
+void Svm::acquire_read_replica(u64 page_vaddr, u64 page_idx, u16 frame) {
+  core_.compute_cycles(domain_.config().ownership_software_cycles);
+
+  // Fast path: we are the exclusive owner — remap writable without any
+  // protocol traffic (mirrors the ownership fast path).
+  core_.irq_disable();
+  if (owner_read(page_idx) == core_.id() && dir_read(page_idx) == 0) {
+    install_mapping(page_vaddr, frame, /*writable=*/true);
+    core_.irq_enable();
+    return;
+  }
+  core_.irq_enable();
+
+  // The transfer lock serialises directory transitions of this page:
+  // while we hold it no write upgrade can invalidate the replica we are
+  // about to install, and no other reader can race our sharer update.
+  const int treg = domain_.transfer_lock_reg(page_idx);
+  u64 backoff = 16;
+  while (!core_.tas_try_acquire(treg)) {
+    core_.relax(backoff * core_.chip().config().core_cycle_ps());
+    backoff = std::min<u64>(backoff * 2, 4096);
+  }
+  domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
+  domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page_idx;
+  const auto unlock = [&] {
+    domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = -1;
+    core_.tas_release(treg);
+  };
+
+  for (;;) {
+    const u16 owner = owner_read(page_idx);
+    if (owner == core_.id()) {
+      // We own the page after all (a transfer raced ahead of the
+      // fault). Shared: our mapping was downgraded — stay read-only so
+      // the sharer invariants hold; Exclusive: map writable.
+      core_.irq_disable();
+      if (owner_read(page_idx) == core_.id()) {
+        const bool shared = (dir_read(page_idx) & kDirSharedBit) != 0;
+        install_mapping(page_vaddr, frame, /*writable=*/!shared);
+        core_.irq_enable();
+        unlock();
+        return;
+      }
+      core_.irq_enable();
+      continue;
+    }
+    const u64 dir = dir_read(page_idx);
+    if ((dir & kDirSharedBit) != 0) {
+      // Already Shared: the owner flushed its WCB when the state was
+      // entered and cannot have written since (its mapping is read-only),
+      // so the frame is clean in DRAM — join the sharer set without
+      // contacting anyone. Stale MPBT lines from an earlier ownership of
+      // this page must not shadow the fresh data.
+      dir_write(page_idx, dir | dir_bit(core_.id()));
+      core_.cl1invmb();
+      install_mapping(page_vaddr, frame, /*writable=*/false);
+      ++stats_.replica_installs;
+      unlock();
+      return;
+    }
+    // Exclusive at a remote owner: one grant round-trip downgrades the
+    // owner to Shared. No ownership transfer, no CL1INVMB on the owner.
+    mbox::Mail req;
+    req.type = kMailReadReq;
+    req.p0 = page_idx;
+    req.p1 = static_cast<u64>(core_.id());  // survives forwarding
+    MSVM_LOG_DEBUG("core %d: READ-REQ page %llu -> owner %u", core_.id(),
+                   static_cast<unsigned long long>(page_idx), owner);
+    mbox_.send(owner, req);
+    (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
+      return m.type == kMailReadAck && m.p0 == page_idx;
+    });
+    ++core_.counters().svm_mail_roundtrips;
+    // Loop: the ACK normally means the Shared bit is now set; re-check
+    // in case the request chased a stale owner.
+  }
+}
+
+void Svm::serve_read_request(const mbox::Mail& mail) {
+  const u64 page_idx = mail.p0;
+  const int requester = static_cast<int>(mail.p1);
+  core_.compute_cycles(domain_.config().ownership_software_cycles);
+  const u16 owner = owner_read(page_idx);
+  if (owner == requester) {
+    // A forward raced with an ownership transfer to the requester
+    // itself; just confirm so its wait terminates.
+    mbox::Mail ack;
+    ack.type = kMailReadAck;
+    ack.p0 = page_idx;
+    mbox_.send(requester, ack);
+    return;
+  }
+  if (owner != core_.id()) {
+    // We gave the page away before this request arrived: chase the
+    // current owner.
+    ++stats_.ownership_forwards;
+    mbox_.send(owner, mail);
+    return;
+  }
+  MSVM_LOG_DEBUG("core %d: READ-GRANT page %llu -> %d", core_.id(),
+                 static_cast<unsigned long long>(page_idx), requester);
+  // Exclusive -> Shared: publish our writes and downgrade our own
+  // mapping so a later local write takes the upgrade path. Our L1 is
+  // write-through — it holds nothing newer than the WCB flush, so no
+  // CL1INVMB is needed (the saving over a full ownership transfer).
+  ++stats_.replica_grants;
+  core_.flush_wcb();
+  const u64 page_vaddr =
+      scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
+  core_.pagetable().update(page_vaddr,
+                           [](scc::Pte& p) { p.writable = false; });
+  dir_write(page_idx, dir_read(page_idx) | kDirSharedBit);
+  mbox::Mail ack;
+  ack.type = kMailReadAck;
+  ack.p0 = page_idx;
+  mbox_.send(requester, ack);
+}
+
+void Svm::serve_invalidation(const mbox::Mail& mail) {
+  const u64 page_idx = mail.p0;
+  const int requester = static_cast<int>(mail.p1);
+  core_.compute_cycles(domain_.config().ownership_software_cycles);
+  ++stats_.invalidations_received;
+  ++core_.counters().svm_inval_recv;
+  const u64 page_vaddr =
+      scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
+  // Drop the replica mapping and its cached lines: the replica is
+  // read-only and MPBT-typed, so CL1INVMB discards exactly the lines a
+  // future re-read must fetch fresh.
+  core_.pagetable().update(page_vaddr, [](scc::Pte& p) {
+    p.present = false;
+    p.writable = false;
+  });
+  core_.cl1invmb();
+  MSVM_LOG_DEBUG("core %d: INVAL page %llu (upgrade by %d)", core_.id(),
+                 static_cast<unsigned long long>(page_idx), requester);
+  mbox::Mail ack;
+  ack.type = kMailInvalAck;
+  ack.p0 = page_idx;
+  mbox_.send(requester, ack);
+}
+
+void Svm::invalidate_sharers(u64 page_idx) {
+  const u64 dir = dir_read(page_idx);
+  if (dir == 0) return;
+  const u64 mask = dir & kDirSharerMask & ~dir_bit(core_.id());
+  const int nshare = std::popcount(mask);
+  if (nshare > 0) {
+    mbox::Mail inv;
+    inv.type = kMailInval;
+    inv.p0 = page_idx;
+    inv.p1 = static_cast<u64>(core_.id());
+    mbox_.multicast(mask, inv);
+    stats_.invalidations_sent += static_cast<u64>(nshare);
+    core_.counters().svm_inval_sent += static_cast<u64>(nshare);
+    for (int i = 0; i < nshare; ++i) {
+      (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
+        return m.type == kMailInvalAck && m.p0 == page_idx;
+      });
+    }
+    ++core_.counters().svm_mail_roundtrips;  // one multicast round
+  }
+  dir_write(page_idx, 0);  // Exclusive again
 }
 
 void Svm::install_mapping(u64 page_vaddr, u16 frame_no, bool writable) {

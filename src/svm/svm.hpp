@@ -54,6 +54,22 @@ enum class Model : u8 { kStrong, kLazyRelease };
 /// Mail types used by the ownership protocol.
 inline constexpr u8 kMailOwnershipReq = 0x20;
 inline constexpr u8 kMailOwnershipAck = 0x21;
+/// Mail types used by the read-replication extension (see
+/// SvmConfig::read_replication): a read-fault grant round-trip and the
+/// multicast invalidation that precedes an exclusive (write) upgrade.
+inline constexpr u8 kMailReadReq = 0x22;
+inline constexpr u8 kMailReadAck = 0x23;
+inline constexpr u8 kMailInval = 0x24;
+inline constexpr u8 kMailInvalAck = 0x25;
+
+/// Directory word layout (read-replication mode; one u64 per page in the
+/// off-die metadata area). Bits [0, 48): sharer bitmask — cores holding a
+/// read-only replica, never including the owner. Bit 63: the page is in
+/// the Shared state, i.e. the owner downgraded its own mapping to
+/// read-only and the frame in DRAM is clean.
+inline constexpr u64 kDirSharedBit = u64{1} << 63;
+inline constexpr u64 kDirSharerMask = (u64{1} << 48) - 1;
+inline constexpr u64 dir_bit(int core_id) { return u64{1} << core_id; }
 
 /// Thrown (into the faulting simulated program) on a write to a page
 /// protected with protect_readonly() — the debugging aid of Section 6.4.
@@ -86,6 +102,15 @@ struct SvmConfig {
   bool ack_via_mail = true;
   /// Number of TAS-striped scratchpad locks (1 = the paper's single lock).
   u32 scratchpad_lock_stripes = 1;
+  /// MSI-style read replication for the Strong model (an extension beyond
+  /// the paper, like Affinity-on-Next-Touch): the off-die owner vector is
+  /// upgraded to a directory entry {owner, sharer bitmask, Exclusive |
+  /// Shared}. A read fault installs a read-only replica after a single
+  /// grant from the owner (no ownership transfer, no CL1INVMB on the
+  /// owner — its write-through L1 is not stale); a write fault multicasts
+  /// invalidations to all sharers before taking exclusive ownership.
+  /// Off by default so every paper-reproduction figure stays bit-identical.
+  bool read_replication = false;
   /// Modelled software path costs (core cycles). The two bigger ones are
   /// calibrated against the paper's Table 1 (row 1: 741 us per 4 MiB
   /// reservation; row 2: ~112 us per physically allocated frame, which
@@ -142,6 +167,10 @@ class SvmDomain {
   u64 vbase() const;
   u64 owner_entry_paddr(u64 page_idx) const;
   u64 scratchpad_entry_paddr(u64 page_idx) const;
+  /// Directory sharer word of `page_idx` (read-replication mode only; the
+  /// area exists only when the mode is configured, keeping the metadata
+  /// layout — and thus every flag-off run — bit-identical to the paper's).
+  u64 sharer_entry_paddr(u64 page_idx) const;
   u64 mc_counter_paddr(int mc) const;
   u64 frame_paddr(u16 frame_no) const;
 
@@ -163,7 +192,11 @@ class SvmDomain {
   /// Offsets of the SVM barrier flags within the scratchpad MPB carve.
   static constexpr u32 kBarrierArriveOff = mbox::kScratchpadOffset;
   static constexpr u32 kBarrierReleaseOff = mbox::kScratchpadOffset + 48;
-  /// Dissemination flags: two parity sets of 6 rounds (49..60).
+  /// Dissemination flags: two parity sets of kBarrierDissRounds rounds
+  /// (49..60). The round count bounds the member count to 2^6 = 64;
+  /// Svm::barrier_dissemination() checks this instead of silently letting
+  /// round offsets spill into the scratchpad entries.
+  static constexpr u32 kBarrierDissRounds = 6;
   static constexpr u32 kBarrierDissOff = mbox::kScratchpadOffset + 49;
   static constexpr u32 kEntriesOff = mbox::kScratchpadOffset + 64;
 
@@ -216,6 +249,11 @@ struct SvmStats {
   u64 barriers = 0;
   u64 lock_acquires = 0;
   u64 protect_calls = 0;
+  // Read-replication directory protocol (all zero with the flag off).
+  u64 replica_installs = 0;    // read-only replica mappings installed
+  u64 replica_grants = 0;      // Exclusive->Shared downgrades served
+  u64 invalidations_sent = 0;  // per-sharer invalidation mails sent
+  u64 invalidations_received = 0;  // replicas this core dropped on demand
 };
 
 /// Per-core SVM endpoint. Installs itself as the kernel's SVM fault
@@ -279,9 +317,23 @@ class Svm {
   void install_mapping(u64 vaddr, u16 frame_no, bool writable);
   void map_readonly(u64 vaddr, u16 frame_no);
 
+  // Read-replication pieces (active only with cfg.read_replication).
+  bool read_replication() const {
+    return domain_.config().read_replication && model() == Model::kStrong;
+  }
+  void acquire_read_replica(u64 vaddr, u64 page_idx, u16 frame_no);
+  void serve_read_request(const mbox::Mail& mail);
+  void serve_invalidation(const mbox::Mail& mail);
+  /// Multicasts invalidations to every sharer of `page_idx` (except this
+  /// core), waits for all ACKs, and resets the directory word to
+  /// Exclusive. Must be called holding the page's transfer lock.
+  void invalidate_sharers(u64 page_idx);
+
   // Simulated metadata accessors (all uncached).
   u16 owner_read(u64 page_idx);
   void owner_write(u64 page_idx, u16 owner_core);
+  u64 dir_read(u64 page_idx);
+  void dir_write(u64 page_idx, u64 word);
   u16 scratchpad_read(u64 page_idx);
   void scratchpad_write(u64 page_idx, u16 value);
   u16 alloc_frame_near(int mc);

@@ -34,6 +34,7 @@ HistogramResult run_histogram(const HistogramParams& p, svm::Model model,
   cfg.chip.shared_dram_bytes = 16 << 20;
   cfg.chip.private_dram_bytes = 1 << 20;
   cfg.svm.model = model;
+  cfg.svm.read_replication = p.read_replication;
   cluster::Cluster cl(cfg);
 
   HistogramResult result;
@@ -93,6 +94,11 @@ HistogramResult run_histogram(const HistogramParams& p, svm::Model model,
   });
 
   result.elapsed = *std::max_element(elapsed.begin(), elapsed.end());
+  for (int c = 0; c < num_cores; ++c) {
+    result.mail_roundtrips +=
+        cl.node(c).core().counters().svm_mail_roundtrips;
+    result.invalidations += cl.node(c).svm().stats().invalidations_sent;
+  }
   return result;
 }
 

@@ -17,12 +17,16 @@ struct HistogramParams {
   u32 samples_per_core = 4096;
   u32 lock_stripes = 8;  // bins per lock stripe = bins / stripes
   u64 seed = 42;
+  /// Strong-model read-replication directory (no effect under LRC).
+  bool read_replication = false;
 };
 
 struct HistogramResult {
   std::vector<u64> bins;   // final shared histogram
   u64 total_samples = 0;
   TimePs elapsed = 0;      // slowest core, merge phase
+  u64 mail_roundtrips = 0;  // blocking fault-path round-trips, all cores
+  u64 invalidations = 0;    // replica invalidations sent, all cores
 };
 
 HistogramResult run_histogram(const HistogramParams& p, svm::Model model,

@@ -68,6 +68,7 @@ LaplaceResult run_laplace_svm(const LaplaceParams& p, svm::Model model,
       std::max<u64>(16ull << 20, 4 * grid_bytes);
   cfg.chip.private_dram_bytes = 1 << 20;
   cfg.svm.model = model;
+  cfg.svm.read_replication = p.read_replication;
   cfg.use_ipi = use_ipi;
   cluster::Cluster cl(cfg);
 
@@ -154,9 +155,11 @@ LaplaceResult run_laplace_svm(const LaplaceParams& p, svm::Model model,
     result.l1_misses += d.l1_misses;
     result.dram_reads += d.dram_reads;
     result.dram_writes += d.dram_writes;
+    result.mail_roundtrips += d.svm_mail_roundtrips;
   }
   for (const int c : cl.members()) {
     result.ownership_acquires += cl.node(c).svm().stats().ownership_acquires;
+    result.invalidations += cl.node(c).svm().stats().invalidations_sent;
   }
   return result;
 }

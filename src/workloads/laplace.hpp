@@ -35,6 +35,10 @@ struct LaplaceParams {
   /// Core clock; mesh/DRAM stay at 800 MHz (the frequency-sweep
   /// ablation exercises this, Section 3).
   u32 core_mhz = 533;
+  /// Strong-model read-replication directory: boundary rows are read by
+  /// one neighbour and written by their owner, the sharing pattern the
+  /// directory turns into one grant + one invalidation per iteration.
+  bool read_replication = false;
 };
 
 struct LaplaceResult {
@@ -48,7 +52,9 @@ struct LaplaceResult {
   u64 l1_misses = 0;
   u64 dram_reads = 0;
   u64 dram_writes = 0;
-  u64 bytes_messaged = 0;  // iRCCE variant only
+  u64 bytes_messaged = 0;   // iRCCE variant only
+  u64 mail_roundtrips = 0;  // blocking fault-path round-trips, iter phase
+  u64 invalidations = 0;    // replica invalidations sent, all cores
 };
 
 /// Host-side reference solution (plain C++), for checksum validation.

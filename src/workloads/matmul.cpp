@@ -34,6 +34,7 @@ MatmulResult run_matmul(const MatmulParams& p, svm::Model model,
   cfg.chip.shared_dram_bytes = std::max<u64>(16ull << 20, 8 * mat_bytes);
   cfg.chip.private_dram_bytes = 1 << 20;
   cfg.svm.model = model;
+  cfg.svm.read_replication = p.read_replication;
   cluster::Cluster cl(cfg);
 
   MatmulResult result;
@@ -109,6 +110,9 @@ MatmulResult run_matmul(const MatmulParams& p, svm::Model model,
   for (const int c : cl.members()) {
     result.ownership_acquires +=
         cl.node(c).svm().stats().ownership_acquires;
+    result.mail_roundtrips +=
+        cl.node(c).core().counters().svm_mail_roundtrips;
+    result.invalidations += cl.node(c).svm().stats().invalidations_sent;
   }
   return result;
 }

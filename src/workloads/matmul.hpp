@@ -15,6 +15,10 @@ struct MatmulParams {
   u32 compute_cycles_per_madd = 3;
   /// Protect A and B read-only before the compute phase (Section 6.4).
   bool protect_inputs = true;
+  /// Strong-model read-replication directory (SvmConfig::read_replication):
+  /// the protocol-level alternative to protect_inputs for read-mostly
+  /// operands.
+  bool read_replication = false;
 };
 
 struct MatmulResult {
@@ -22,6 +26,8 @@ struct MatmulResult {
   TimePs elapsed = 0;     // compute phase, slowest core
   u64 l2_hits = 0;        // evidence of the read-only optimisation
   u64 ownership_acquires = 0;
+  u64 mail_roundtrips = 0;  // blocking fault-path round-trips, all cores
+  u64 invalidations = 0;    // replica invalidations sent, all cores
 };
 
 MatmulResult run_matmul(const MatmulParams& p, svm::Model model,

@@ -181,6 +181,69 @@ TEST(Barrier, DisseminationSynchronisesAndStaysSynchronised) {
   EXPECT_TRUE(monotone);
 }
 
+TEST(Barrier, DisseminationIsExactForNonPowerOfTwoMemberCounts) {
+  // Regression: the dissemination barrier must synchronise exactly for
+  // any member count, not just powers of two — ceil(log2 n) rounds at
+  // distances 1, 2, 4, ... (mod n) cover every core. A silently degraded
+  // barrier would let a fast core pass before the slowest arrives.
+  for (const int members : {3, 5, 6, 7}) {
+    ClusterConfig cfg = base_config();
+    cfg.svm.barrier_algo = svm::BarrierAlgo::kDissemination;
+    cfg.members.clear();
+    for (int c = 0; c < members; ++c) cfg.members.push_back(c);
+    Cluster cl(cfg);
+    std::vector<TimePs> after(static_cast<std::size_t>(members), 0);
+    std::vector<int> counters(static_cast<std::size_t>(members), 0);
+    bool monotone = true;
+    cl.run([&](Node& n) {
+      (void)n.svm().alloc(4096);
+      n.core().compute_cycles(static_cast<u64>(n.rank()) * 60'000);
+      n.svm().barrier();
+      after[static_cast<std::size_t>(n.rank())] = n.core().now();
+      // Repeated barriers keep the parity/sense reuse honest at odd n.
+      for (int round = 0; round < 12; ++round) {
+        counters[static_cast<std::size_t>(n.rank())] = round;
+        n.svm().barrier();
+        for (int other = 0; other < members; ++other) {
+          if (counters[static_cast<std::size_t>(other)] < round) {
+            monotone = false;
+          }
+        }
+        n.svm().barrier();
+      }
+    });
+    const TimePs slowest = static_cast<TimePs>(members - 1) * 60'000 *
+                           cl.chip().config().core_cycle_ps();
+    for (int r = 0; r < members; ++r) {
+      EXPECT_GE(after[static_cast<std::size_t>(r)], slowest)
+          << "members=" << members << " rank=" << r;
+    }
+    EXPECT_TRUE(monotone) << "members=" << members;
+  }
+}
+
+TEST(Barrier, DisseminationAtFullChipWidth) {
+  // 48 members need 6 rounds — exactly the reserved flag capacity; this
+  // must work (ablation_barrier depends on it) while anything wider
+  // panics instead of corrupting neighbouring MPB bytes.
+  ClusterConfig cfg = base_config();
+  cfg.chip.num_cores = 48;
+  cfg.svm.barrier_algo = svm::BarrierAlgo::kDissemination;
+  Cluster cl(cfg);
+  std::vector<TimePs> after(48, 0);
+  cl.run([&](Node& n) {
+    (void)n.svm().alloc(4096);
+    n.core().compute_cycles(static_cast<u64>(n.rank()) * 10'000);
+    n.svm().barrier();
+    after[static_cast<std::size_t>(n.rank())] = n.core().now();
+  });
+  const TimePs slowest =
+      47 * 10'000 * cl.chip().config().core_cycle_ps();
+  for (int r = 0; r < 48; ++r) {
+    EXPECT_GE(after[static_cast<std::size_t>(r)], slowest) << r;
+  }
+}
+
 TEST(Barrier, DisseminationDataTransferUnderLazyRelease) {
   ClusterConfig cfg = base_config();
   cfg.svm.barrier_algo = svm::BarrierAlgo::kDissemination;
