@@ -56,13 +56,14 @@ int main(int argc, char** argv) {
   const u32 n = static_cast<u32>(bench::arg_u64(argc, argv, "n", 48));
   const u32 iters =
       static_cast<u32>(bench::arg_u64(argc, argv, "iters", 6));
+  const u64 seed = bench::arg_seed(argc, argv);
 
   bench::print_header(
       "Ablation — read replication (sharer directory vs. single owner)",
       "extension beyond Lankes et al.; cf. Section 6.1 ownership "
       "transfers");
 
-  bench::JsonReport json("ablation_read_replication");
+  bench::JsonReport json("ablation_read_replication", seed);
   json.config("matmul_n", static_cast<u64>(n));
   json.config("laplace_iters", static_cast<u64>(iters));
 
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
 
   for (const int cores : {2, 4, 8}) {
     workloads::HistogramParams hp;
+    hp.seed = seed;
     hp.read_replication = false;
     const auto h_single = run_histogram(hp, svm::Model::kStrong, cores);
     hp.read_replication = true;

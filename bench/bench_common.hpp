@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/rng.hpp"
 #include "sim/types.hpp"
 
 namespace msvm::bench {
@@ -50,6 +51,19 @@ inline bool arg_flag(int argc, char** argv, const std::string& key) {
   return false;
 }
 
+/// The workload-generator seed for this run ("--seed=N"). The default
+/// matches the historical fixed seed the randomised workloads used, so a
+/// run without the flag reproduces earlier outputs bit for bit. Every
+/// bench records the value in its BENCH_*.json (JsonReport does it at
+/// construction) so a stored result can always be re-derived.
+inline u64 arg_seed(int argc, char** argv, u64 fallback = 42) {
+  return arg_u64(argc, argv, "seed", fallback);
+}
+
+/// The per-run workload generator, threaded from --seed: deterministic
+/// across platforms (xoshiro256**), reproducible from the JSON record.
+inline sim::Rng seeded_rng(u64 seed) { return sim::Rng(seed); }
+
 /// Machine-readable companion to the console tables: collects config
 /// key/values and named sample series, then writes BENCH_<name>.json
 /// into the working directory with count/median/p95 per series. The
@@ -57,7 +71,12 @@ inline bool arg_flag(int argc, char** argv, const std::string& key) {
 /// the unit is part of the series name (e.g. "strong_ms").
 class JsonReport {
  public:
-  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  /// Every report carries the run's workload seed (see arg_seed) so any
+  /// stored BENCH_*.json names the exact inputs that produced it.
+  explicit JsonReport(std::string name, u64 seed = 42)
+      : name_(std::move(name)) {
+    config("seed", seed);
+  }
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
   ~JsonReport() { write(); }

@@ -111,6 +111,16 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
             ps_to_ms(fault_total.svm_fault_stall_ps));
   }
 
+  if (options.svm_trace) {
+    for (const int c : cluster.members()) {
+      const svm::proto::TraceRing& ring = cluster.node(c).svm().trace();
+      if (ring.recorded() == 0) continue;
+      appendf(out, "svm-trace core %d (%llu event(s), newest last):\n", c,
+              static_cast<unsigned long long>(ring.recorded()));
+      out += ring.dump("  ", options.svm_trace_events);
+    }
+  }
+
   if (options.mailbox) {
     u64 sent = 0;
     u64 received = 0;

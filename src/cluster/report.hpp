@@ -4,6 +4,7 @@
 // printf blocks; benches print paper-style tables of their own.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "cluster/cluster.hpp"
@@ -15,6 +16,8 @@ struct ReportOptions {
   bool memory = true;     // cache/DRAM/WCB counters
   bool svm = true;        // fault and ownership statistics
   bool mailbox = true;    // mail traffic
+  bool svm_trace = false;      // per-core protocol-event ring dump
+  std::size_t svm_trace_events = 8;  // newest events per core to render
 };
 
 /// Renders the statistics of a finished run. Call after Cluster::run().

@@ -1,0 +1,96 @@
+// ProtocolEnv — the seam between the coherence-protocol core and the
+// world. Policies (policy.hpp) are written as linear, blocking protocol
+// code, but every effect — a metadata word, a message, a page-table or
+// cache action, a lock, a modelled cost — goes through this interface.
+//
+// Two implementations exist:
+//   * SvmRuntime (svm/svm_runtime.hpp): binds the env to the simulated
+//     SCC — uncached ploads/pstores for metadata, mailbox mails for
+//     messages, CL1INVMB/WCB/page-table callbacks, TAS transfer locks.
+//   * the deterministic protocol harness (tests/svm/protocol_harness.hpp):
+//     scripted message queues and plain arrays, so protocol interleavings
+//     become table-driven unit tests with no fibers and no chip.
+#pragma once
+
+#include "svm/protocol/meta.hpp"
+#include "svm/protocol/trace.hpp"
+#include "svm/protocol/types.hpp"
+
+namespace msvm::svm::proto {
+
+class ProtocolEnv {
+ public:
+  virtual ~ProtocolEnv() = default;
+
+  /// This core's chip-wide id (the id protocol metadata speaks).
+  virtual int self() const = 0;
+
+  /// Typed metadata accessor (owner vector / scratchpad / directory).
+  virtual MetaWord& meta() = 0;
+
+  /// Per-core protocol statistics to update.
+  virtual SvmStats& stats() = 0;
+
+  /// Per-core protocol-event ring (dumped on errors / test failures).
+  virtual TraceRing& trace() = 0;
+
+  // ---- transport ----
+
+  /// Sends a protocol message to `dest` (blocking until deposited).
+  virtual void send(int dest, const Msg& m) = 0;
+
+  /// Sends `m` to every core whose bit is set in `dest_mask`, excluding
+  /// this core. Returns the number of messages sent.
+  virtual int multicast(u64 dest_mask, const Msg& m) = 0;
+
+  /// Blocks until a message of `type` for `page` arrives, draining and
+  /// dispatching unrelated protocol traffic meanwhile.
+  virtual Msg wait_match(MsgType type, u64 page) = 0;
+
+  /// One cooperative scheduling step (the owner-vector polling fallback
+  /// spins on metadata and must let other cores run in between).
+  virtual void yield() = 0;
+
+  // ---- local page / cache actions ----
+
+  /// Flushes the write-combine buffer (release semantics).
+  virtual void flush_wcb() = 0;
+
+  /// Invalidates the MPBT-tagged L1 lines (acquire semantics).
+  virtual void cl1invmb() = 0;
+
+  /// Installs a mapping for `page` backed by `frame` (MPBT-typed).
+  virtual void map_page(u64 page, u16 frame, bool writable) = 0;
+
+  /// Revokes the mapping of `page` (present := false).
+  virtual void unmap_page(u64 page) = 0;
+
+  /// Downgrades the mapping of `page` to read-only (stays present).
+  virtual void downgrade_page(u64 page) = 0;
+
+  // ---- serialisation ----
+
+  /// Acquires/releases the per-page transfer lock that serialises
+  /// ownership transfers and directory transitions of `page`.
+  virtual void transfer_lock(u64 page) = 0;
+  virtual void transfer_unlock(u64 page) = 0;
+
+  /// Masks/unmasks interrupts around check-then-map windows (an incoming
+  /// request served in between would unmap the page again).
+  virtual void irq_off() = 0;
+  virtual void irq_on() = 0;
+
+  // ---- modelled cost and diagnostics ----
+
+  /// Charges `cycles` of modelled software cost to this core.
+  virtual void cost_cycles(u32 cycles) = 0;
+
+  /// Raises a hardware-counter event (mapped onto scc::CoreCounters by
+  /// the binding layer, onto plain tallies by the harness).
+  virtual void hw_count(HwEvent event, u64 delta) = 0;
+
+  /// Rate-limited progress diagnostics (non-converging acquire loops).
+  virtual void warn(const char* message) = 0;
+};
+
+}  // namespace msvm::svm::proto

@@ -1,0 +1,35 @@
+// LrcPolicy — Lazy Release Consistency (paper Section 6.2): every core
+// maps pages writable; data moves at synchronisation points only. Lock
+// acquire invalidates the SVM-tagged L1 lines; lock release (and the
+// collective barrier) flushes the write-combine buffer. Because WCB
+// flushes write only *dirty bytes* (diff-free LRC), two cores may safely
+// write disjoint parts of one page between barriers — no twin pages or
+// diffs as in classic software DSM.
+#include "svm/protocol/policy.hpp"
+
+namespace msvm::svm::proto {
+
+void LrcPolicy::fault(u64 page, u16 frame, bool is_write,
+                      ProtocolEnv& env) {
+  // Any fault on an existing frame simply (re)installs a writable
+  // mapping: under LRC there is no per-access permission to retrieve.
+  (void)is_write;
+  env.map_page(page, frame, /*writable=*/true);
+  transition(page, PageState::kOwnedRW, env);
+}
+
+void LrcPolicy::on_message(const Msg& m, ProtocolEnv& env) {
+  // LRC exchanges no protocol messages — consistency lives entirely in
+  // the synchronisation hooks. Stray mail is dropped.
+  (void)m;
+  (void)env;
+}
+
+void LrcPolicy::on_acquire(ProtocolEnv& env) {
+  // Entering a critical section (or leaving a barrier): the data written
+  // by others before the synchronisation point must not be shadowed by
+  // stale cache lines.
+  if (!cfg_.sabotage.skip_acquire_invalidate) env.cl1invmb();
+}
+
+}  // namespace msvm::svm::proto

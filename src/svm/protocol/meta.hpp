@@ -1,0 +1,97 @@
+// The metadata-ops layer: every piece of protocol metadata the paper
+// spreads over simulated physical memory — the off-die owner vector, the
+// on-die first-touch scratchpad, and the read-replication directory —
+// is, to the protocol core, just a typed word keyed by (kind, page).
+//
+// MetaStore is the raw transport: one load and one store, implemented by
+// the binding layer as uncached ploads/pstores at the SvmDomain's
+// physical addresses and by the test harness as plain arrays. MetaWord
+// is the typed accessor on top that replaces the former
+// owner_read/owner_write/dir_read/dir_write/scratchpad_read/
+// scratchpad_write boilerplate sextet, and gives every metadata write a
+// single choke point for transition tracing.
+#pragma once
+
+#include "svm/protocol/trace.hpp"
+#include "svm/protocol/types.hpp"
+
+namespace msvm::svm::proto {
+
+/// Which metadata word a MetaStore access targets.
+enum class MetaKind : u8 {
+  kOwner = 0,       // u16: owning core id
+  kScratchpad = 1,  // u16: frame number | kMigrateBit
+  kDirectory = 2,   // u64: sharer bitmask | kDirSharedBit
+};
+
+inline const char* to_string(MetaKind k) {
+  switch (k) {
+    case MetaKind::kOwner: return "owner";
+    case MetaKind::kScratchpad: return "scratchpad";
+    case MetaKind::kDirectory: return "dir";
+  }
+  return "?";
+}
+
+/// Raw word transport for protocol metadata. Values are passed as u64;
+/// 16-bit kinds use the low half (the store side truncates).
+class MetaStore {
+ public:
+  virtual ~MetaStore() = default;
+  virtual u64 load(MetaKind kind, u64 page) = 0;
+  virtual void store(MetaKind kind, u64 page, u64 value) = 0;
+};
+
+/// Scratchpad entry bit 15 marks a page for next-touch migration, which
+/// is why allocatable frame numbers are 15-bit (the paper's plain 16-bit
+/// representation caps shared memory at 256 MiB; the migration extension
+/// halves that to 128 MiB — still far beyond what we simulate).
+inline constexpr u16 kMigrateBit = 0x8000;
+inline constexpr u16 kFrameMask = 0x7fff;
+
+/// Typed facade over a MetaStore. Reads are free of side effects; every
+/// write is recorded in the (optional) trace ring.
+class MetaWord {
+ public:
+  explicit MetaWord(MetaStore& store, TraceRing* trace = nullptr)
+      : store_(store), trace_(trace) {}
+
+  // ---- owner vector ----
+  u16 owner(u64 page) {
+    return static_cast<u16>(store_.load(MetaKind::kOwner, page));
+  }
+  void set_owner(u64 page, u16 core) {
+    write(MetaKind::kOwner, page, core);
+  }
+
+  // ---- first-touch scratchpad ----
+  u16 scratchpad(u64 page) {
+    return static_cast<u16>(store_.load(MetaKind::kScratchpad, page));
+  }
+  void set_scratchpad(u64 page, u16 entry) {
+    write(MetaKind::kScratchpad, page, entry);
+  }
+  u16 frame_of(u64 page) { return scratchpad(page) & kFrameMask; }
+
+  // ---- read-replication directory ----
+  u64 dir(u64 page) { return store_.load(MetaKind::kDirectory, page); }
+  void set_dir(u64 page, u64 word) {
+    write(MetaKind::kDirectory, page, word);
+  }
+
+  MetaStore& store() { return store_; }
+
+ private:
+  void write(MetaKind kind, u64 page, u64 value) {
+    store_.store(kind, page, value);
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{TraceKind::kMetaWrite, page,
+                                static_cast<u64>(kind), value});
+    }
+  }
+
+  MetaStore& store_;
+  TraceRing* trace_;
+};
+
+}  // namespace msvm::svm::proto

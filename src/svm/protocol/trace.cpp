@@ -1,0 +1,82 @@
+#include "svm/protocol/trace.hpp"
+
+#include <cstdio>
+
+#include "svm/protocol/meta.hpp"
+
+namespace msvm::svm::proto {
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 idx = (next_ - n + i) % events_.size();
+    out.push_back(events_[static_cast<std::size_t>(idx)]);
+  }
+  return out;
+}
+
+std::string TraceRing::format(const TraceEvent& e) {
+  char buf[128];
+  switch (e.kind) {
+    case TraceKind::kTransition:
+      std::snprintf(buf, sizeof(buf), "page %llu %s -> %s",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<PageState>(e.a)),
+                    to_string(static_cast<PageState>(e.b)));
+      break;
+    case TraceKind::kMsgSend:
+      std::snprintf(buf, sizeof(buf), "page %llu send %s -> core %llu",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<MsgType>(e.a)),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceKind::kMsgRecv:
+      std::snprintf(buf, sizeof(buf), "page %llu recv %s (req by %llu)",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<MsgType>(e.a)),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceKind::kMetaWrite:
+      std::snprintf(buf, sizeof(buf), "page %llu %s := 0x%llx",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<MetaKind>(e.a)),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceKind::kFault:
+      std::snprintf(buf, sizeof(buf), "page %llu %s fault",
+                    static_cast<unsigned long long>(e.page),
+                    e.a != 0 ? "write" : "read");
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "page %llu ?",
+                    static_cast<unsigned long long>(e.page));
+      break;
+  }
+  return buf;
+}
+
+std::string TraceRing::dump(const char* prefix,
+                            std::size_t max_events) const {
+  std::string out;
+  const std::vector<TraceEvent> events = snapshot();
+  const std::size_t n = events.size();
+  const std::size_t first = n > max_events ? n - max_events : 0;
+  if (recorded() > n || first > 0) {
+    char hdr[64];
+    std::snprintf(hdr, sizeof(hdr), "%s... %llu earlier event(s)\n",
+                  prefix,
+                  static_cast<unsigned long long>(
+                      recorded() - (n - first)));
+    out += hdr;
+  }
+  for (std::size_t i = first; i < n; ++i) {
+    out += prefix;
+    out += format(events[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msvm::svm::proto

@@ -1,0 +1,69 @@
+// Per-core protocol-event ring buffer: state transitions, message
+// send/receive, metadata writes, and fault entries, in program order.
+// Recording is host-side only (no simulated cost), bounded, and always
+// on — the ring is what gets dumped when an SvmProtectionError fires or
+// a protocol test fails, and what the cluster report's `svm-trace`
+// section renders.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "svm/protocol/types.hpp"
+
+namespace msvm::svm::proto {
+
+enum class TraceKind : u8 {
+  kTransition = 0,  // a: old PageState, b: new PageState
+  kMsgSend = 1,     // a: MsgType, b: destination core (or multicast mask)
+  kMsgRecv = 2,     // a: MsgType, b: requester id
+  kMetaWrite = 3,   // a: MetaKind, b: value written
+  kFault = 4,       // a: 1 = write fault, b: fault-path tag
+};
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kTransition;
+  u64 page = 0;
+  u64 a = 0;
+  u64 b = 0;
+};
+
+/// Fixed-capacity ring of the most recent protocol events on one core.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 256) : events_(capacity) {}
+
+  void record(const TraceEvent& e) {
+    if (events_.empty()) return;
+    events_[next_ % events_.size()] = e;
+    ++next_;
+  }
+
+  void clear() { next_ = 0; }
+
+  /// Total events ever recorded (>= size(); the excess was overwritten).
+  u64 recorded() const { return next_; }
+  std::size_t size() const {
+    return next_ < events_.size() ? static_cast<std::size_t>(next_)
+                                  : events_.size();
+  }
+
+  /// Oldest-to-newest snapshot of the surviving events.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Renders one event ("page 12 Invalid->OwnedRW", "page 3 send
+  /// OwnershipReq -> core 5", ...).
+  static std::string format(const TraceEvent& e);
+
+  /// Renders the newest `max_events` surviving events, one per line,
+  /// each prefixed with `prefix`.
+  std::string dump(const char* prefix = "  ",
+                   std::size_t max_events = 32) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  u64 next_ = 0;
+};
+
+}  // namespace msvm::svm::proto

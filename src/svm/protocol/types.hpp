@@ -1,0 +1,144 @@
+// Transport-agnostic vocabulary of the SVM coherence-protocol core.
+//
+// Everything under src/svm/protocol/ is the *protocol layer*: the
+// per-page state machine, the policy classes that drive it, and the data
+// types they exchange. The layer deliberately has no idea what a chip,
+// fiber, or mailbox is — it consumes protocol messages and fault events
+// and emits messages and metadata operations through the ProtocolEnv
+// interface (env.hpp). The binding layer (svm/svm_runtime.hpp) adapts it
+// to the simulated SCC; the test harness (tests/svm/protocol_harness.hpp)
+// adapts it to scripted message sequences. An include-layering CI check
+// keeps sccsim/sim/mailbox/kernel headers out of this directory.
+#pragma once
+
+#include <cstdint>
+
+namespace msvm::svm::proto {
+
+// Local fixed-width aliases: the protocol layer cannot include
+// sim/types.hpp (layering), and these are identical to the msvm-wide
+// aliases, so the two sets interconvert freely at the binding layer.
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// The explicit per-page state machine. Under the Strong model a page is
+/// OwnedRW on exactly one core and Invalid everywhere else; the
+/// read-replication extension adds SharedRO replicas (owner downgraded,
+/// sharers read-only). Under Lazy Release every mapped page is OwnedRW
+/// on every core — writes meet at synchronisation points only, and the
+/// diff-free write-combine buffer (dirty-byte flushes) is what makes
+/// concurrent writers to disjoint bytes of one page safe.
+enum class PageState : u8 {
+  kInvalid = 0,   // no mapping (or mapping revoked by the protocol)
+  kSharedRO = 1,  // read-only replica / downgraded owner copy
+  kOwnedRW = 2,   // writable mapping
+};
+
+inline const char* to_string(PageState s) {
+  switch (s) {
+    case PageState::kInvalid: return "Invalid";
+    case PageState::kSharedRO: return "SharedRO";
+    case PageState::kOwnedRW: return "OwnedRW";
+  }
+  return "?";
+}
+
+/// Protocol message types. Values match the on-wire mailbox mail types
+/// (svm.hpp's kMailOwnershipReq etc.) so the binding layer converts by
+/// cast; the protocol core never sees a mailbox header.
+enum class MsgType : u8 {
+  kOwnershipReq = 0x20,  // Strong: move ownership to `requester`
+  kOwnershipAck = 0x21,  // transfer complete (or confirmed already done)
+  kReadReq = 0x22,       // read replication: grant a read-only replica
+  kReadAck = 0x23,       // Exclusive -> Shared downgrade done
+  kInval = 0x24,         // write upgrade: drop your replica
+  kInvalAck = 0x25,      // replica dropped
+};
+
+inline const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kOwnershipReq: return "OwnershipReq";
+    case MsgType::kOwnershipAck: return "OwnershipAck";
+    case MsgType::kReadReq: return "ReadReq";
+    case MsgType::kReadAck: return "ReadAck";
+    case MsgType::kInval: return "Inval";
+    case MsgType::kInvalAck: return "InvalAck";
+  }
+  return "?";
+}
+
+/// A protocol message. `requester` survives forwarding: when a stale
+/// owner forwards an OwnershipReq along the ownership chain, the
+/// original faulting core's id rides in the payload.
+struct Msg {
+  MsgType type = MsgType::kOwnershipReq;
+  u64 page = 0;       // global SVM page index
+  int requester = 0;  // payload core id (requester / upgrader)
+};
+
+/// Directory word layout (read-replication mode; one u64 per page).
+/// Bits [0, 48): sharer bitmask — cores holding a read-only replica,
+/// never including the owner. Bit 63: the page is in the Shared state,
+/// i.e. the owner downgraded its own mapping to read-only and the frame
+/// in DRAM is clean.
+inline constexpr u64 kDirSharedBit = u64{1} << 63;
+inline constexpr u64 kDirSharerMask = (u64{1} << 48) - 1;
+inline constexpr u64 dir_bit(int core_id) { return u64{1} << core_id; }
+
+/// Fault-injection switches (testing only): each one removes a single
+/// step of the consistency protocols. Because the simulated caches
+/// carry real data, enabling any of these must produce *wrong results*
+/// in the protocol tests — evidence that the simulator's incoherence
+/// is real and the protocol steps are all load-bearing.
+struct Sabotage {
+  bool skip_serve_wcb_flush = false;   // Strong step 3a (Section 6.1)
+  bool skip_serve_cl1invmb = false;    // Strong step 3b
+  bool skip_serve_unmap = false;       // Strong "clears its access
+                                       // permission"
+  bool skip_release_flush = false;     // LRC release (Section 6.2)
+  bool skip_acquire_invalidate = false;  // LRC acquire
+};
+
+/// The slice of SvmConfig the protocol core needs. The binding layer
+/// fills it from SvmConfig; the harness constructs it directly.
+struct PolicyConfig {
+  /// Requester waits for the ACK mail (paper's design). When false, the
+  /// requester instead polls the off-die owner vector, reproducing the
+  /// authors' earlier prototype [14] that "runs against the memory wall".
+  bool ack_via_mail = true;
+  /// Modelled software cost charged per protocol step (core cycles).
+  u32 ownership_software_cycles = 400;
+  Sabotage sabotage;
+};
+
+/// Protocol/runtime statistics of one core's SVM endpoint. Plain data;
+/// defined here (not in svm.hpp) so policies can update their slice
+/// through ProtocolEnv::stats() without seeing any runtime header.
+struct SvmStats {
+  u64 map_faults = 0;          // frame existed, mapping installed
+  u64 first_touch_allocs = 0;  // this core allocated the frame
+  u64 ownership_acquires = 0;  // strong-model permission retrievals
+  u64 ownership_serves = 0;    // requests this core answered as owner
+  u64 ownership_forwards = 0;  // stale requests forwarded onward
+  u64 migrations = 0;          // next-touch frame moves
+  u64 barriers = 0;
+  u64 lock_acquires = 0;
+  u64 protect_calls = 0;
+  // Read-replication directory protocol (all zero with the flag off).
+  u64 replica_installs = 0;    // read-only replica mappings installed
+  u64 replica_grants = 0;      // Exclusive->Shared downgrades served
+  u64 invalidations_sent = 0;  // per-sharer invalidation mails sent
+  u64 invalidations_received = 0;  // replicas this core dropped on demand
+};
+
+/// Hardware-counter events the protocol raises; the binding layer maps
+/// them onto scc::CoreCounters, the harness onto plain tallies.
+enum class HwEvent : u8 {
+  kMailRoundtrip,  // one request/ACK (or multicast/ACK-set) round-trip
+  kInvalSent,      // invalidation mails fanned out
+  kInvalRecv,      // invalidation served (replica dropped)
+};
+
+}  // namespace msvm::svm::proto

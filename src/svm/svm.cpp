@@ -1,237 +1,59 @@
+// Svm — the thin per-core endpoint. Everything protocol-shaped lives in
+// the protocol core (svm/protocol/) and the binding layer (svm_runtime);
+// this file keeps only what the application calls directly: collectives
+// (alloc / barrier / protect / next_touch), locks, and the glue that
+// routes their consistency semantics through the CoherencePolicy hooks.
 #include "svm/svm.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 #include "sccsim/addrmap.hpp"
-#include "sim/log.hpp"
+#include "svm/svm_runtime.hpp"
 
 namespace msvm::svm {
 
 namespace {
 
-/// Scratchpad entry bit 15 marks a page for next-touch migration, which
-/// is why allocatable frame numbers are 15-bit (the paper's plain 16-bit
-/// representation caps shared memory at 256 MiB; the migration extension
-/// halves that to 128 MiB — still far beyond what we simulate).
-constexpr u16 kMigrateBit = 0x8000;
-constexpr u16 kFrameMask = 0x7fff;
+using proto::kFrameMask;
+using proto::kMigrateBit;
 
 [[noreturn]] void panic(const char* msg) {
   std::fprintf(stderr, "msvm::svm panic: %s\n", msg);
   std::abort();
 }
 
-u64 round_up(u64 v, u64 to) { return (v + to - 1) / to * to; }
-
 }  // namespace
-
-// ===========================================================================
-// SvmDomain
-
-SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
-                     std::vector<int> members, int slot, int num_slots)
-    : chip_(chip),
-      cfg_(cfg),
-      members_(std::move(members)),
-      free_frames_(scc::Mesh::kNumMemControllers),
-      next_alloc_seq_(members_.size(), 0) {
-  assert(num_slots >= 1 && slot >= 0 && slot < num_slots);
-  debug_lock_holder_.assign(64, -1);
-  debug_lock_page_.assign(64, 0);
-  const scc::ChipConfig& ccfg = chip_.config();
-  const u64 page = ccfg.page_bytes;
-
-  entries_per_mpb_ = (mbox::kScratchpadBytes - 64) / 2;
-  const u64 total_capacity =
-      static_cast<u64>(ccfg.num_cores) * entries_per_mpb_;
-  // Coherency-domain partitioning: each slot owns a disjoint share of
-  // the page-index space (and therefore of the scratchpad/owner-vector
-  // entries and the virtual address range).
-  svm_page_capacity_ = total_capacity / static_cast<u64>(num_slots);
-  page_index_base_ = static_cast<u64>(slot) * svm_page_capacity_;
-
-  // Metadata at the tail of shared DRAM: 64 bytes of per-MC frame
-  // counters, then the owner vector, then the off-die scratchpad area
-  // (always reserved so the ablation flag does not change frame
-  // numbers), then — only in read-replication mode, so that flag-off
-  // runs keep the paper's exact layout — one 8-byte directory sharer
-  // word per page. Sized for the whole chip so every slot sees the same
-  // layout.
-  const u64 meta_bytes =
-      64 + 4 * total_capacity +
-      (cfg_.read_replication ? 8 * total_capacity : 0);
-  if (round_up(meta_bytes, page) + page >= ccfg.shared_dram_bytes) {
-    panic("shared DRAM too small for SVM metadata");
-  }
-  meta_base_ = ccfg.shared_dram_bytes - round_up(meta_bytes, page);
-
-  // Seed the per-MC frame allocator counters in *simulated* memory (the
-  // kernel would write these at boot). Slot 0 does it; later slots must
-  // not reset the chip-level allocators.
-  if (slot == 0) {
-    for (int mc = 0; mc < scc::Mesh::kNumMemControllers; ++mc) {
-      const auto [lo, hi] = frame_range_of_mc(mc);
-      (void)hi;
-      const u64 v = lo;
-      chip_.memory().write(mc_counter_paddr(mc), &v, sizeof(v));
-    }
-  }
-}
-
-u64 SvmDomain::vbase() const {
-  return scc::kSvmVBase + page_index_base_ * chip_.config().page_bytes;
-}
-
-std::pair<u16, u16> SvmDomain::frame_range_of_mc(int mc) const {
-  const scc::ChipConfig& ccfg = chip_.config();
-  const u64 page = ccfg.page_bytes;
-  const u64 quarter = ccfg.shared_dram_bytes / scc::Mesh::kNumMemControllers;
-  const u64 frames_limit = meta_base_ / page;  // metadata is off-limits
-  u64 lo = static_cast<u64>(mc) * quarter / page;
-  u64 hi = (static_cast<u64>(mc) + 1) * quarter / page;
-  if (lo == 0) lo = 1;  // frame 0 is the "unallocated" sentinel
-  hi = std::min(hi, frames_limit);
-  lo = std::min(lo, hi);
-  if (hi > kFrameMask) panic("shared DRAM exceeds 15-bit frame space");
-  return {static_cast<u16>(lo), static_cast<u16>(hi)};
-}
-
-u64 SvmDomain::owner_entry_paddr(u64 page_idx) const {
-  assert(page_idx >= page_index_base_ &&
-         page_idx < page_index_base_ + svm_page_capacity_);
-  return scc::kSharedBase + meta_base_ + 64 + 2 * page_idx;
-}
-
-u64 SvmDomain::scratchpad_entry_paddr(u64 page_idx) const {
-  assert(page_idx >= page_index_base_ &&
-         page_idx < page_index_base_ + svm_page_capacity_);
-  if (cfg_.scratchpad_offdie) {
-    return scc::kSharedBase + meta_base_ + 64 + 2 * svm_page_capacity_ +
-           2 * page_idx;
-  }
-  const int core = static_cast<int>(page_idx / entries_per_mpb_);
-  const u32 off = static_cast<u32>(page_idx % entries_per_mpb_) * 2;
-  return chip_.map().mpb_base(core) + kEntriesOff + off;
-}
-
-u64 SvmDomain::sharer_entry_paddr(u64 page_idx) const {
-  assert(cfg_.read_replication &&
-         "directory sharer words exist only in read-replication mode");
-  assert(page_idx >= page_index_base_ &&
-         page_idx < page_index_base_ + svm_page_capacity_);
-  const u64 total_capacity =
-      static_cast<u64>(chip_.config().num_cores) * entries_per_mpb_;
-  return scc::kSharedBase + meta_base_ + 64 + 4 * total_capacity +
-         8 * page_idx;
-}
-
-u64 SvmDomain::mc_counter_paddr(int mc) const {
-  return scc::kSharedBase + meta_base_ + 8 * static_cast<u64>(mc);
-}
-
-u64 SvmDomain::frame_paddr(u16 frame_no) const {
-  return scc::kSharedBase +
-         static_cast<u64>(frame_no) * chip_.config().page_bytes;
-}
-
-// The 48-register TAS file is partitioned statically: scratchpad stripes
-// and transfer locks share the lower half, application locks take the
-// upper half. SVM fault handling can therefore never self-deadlock on a
-// register aliased with an application lock the faulting code holds.
-int SvmDomain::scratchpad_lock_reg(u64 page_idx) const {
-  const u32 half = scc::Mesh::kMaxCores / 2;
-  const u32 stripes =
-      std::max(1u, std::min(cfg_.scratchpad_lock_stripes, half));
-  return static_cast<int>(page_idx % stripes);
-}
-
-int SvmDomain::transfer_lock_reg(u64 page_idx) const {
-  // Shares the lower half with the scratchpad stripes; the two are never
-  // held simultaneously, so aliasing only costs contention, not deadlock.
-  return static_cast<int>(page_idx % (scc::Mesh::kMaxCores / 2));
-}
-
-int SvmDomain::app_lock_reg(int lock_id) const {
-  constexpr int kHalf = scc::Mesh::kMaxCores / 2;
-  return kHalf + lock_id % kHalf;
-}
-
-void SvmDomain::free_frame(int mc, u16 frame_no) {
-  free_frames_[static_cast<std::size_t>(mc)].push_back(frame_no);
-}
-
-u16 SvmDomain::take_free_frame(int mc) {
-  auto& list = free_frames_[static_cast<std::size_t>(mc)];
-  if (list.empty()) return 0;
-  const u16 f = list.back();
-  list.pop_back();
-  return f;
-}
-
-u64 SvmDomain::register_alloc(int rank, u64 bytes) {
-  const u64 page = chip_.config().page_bytes;
-  const u64 seq = next_alloc_seq_[static_cast<std::size_t>(rank)]++;
-  if (seq == allocs_.size()) {
-    // First member to reach this collective call defines the region.
-    const u64 prev_end =
-        allocs_.empty()
-            ? vbase()
-            : allocs_.back().base +
-                  round_up(allocs_.back().bytes, page);
-    if ((prev_end - vbase()) / page + round_up(bytes, page) / page >
-        svm_page_capacity_) {
-      panic("svm_alloc exceeds scratchpad capacity");
-    }
-    allocs_.push_back(AllocRecord{bytes, prev_end, 0});
-  }
-  AllocRecord& rec = allocs_.at(seq);
-  if (rec.bytes != bytes) {
-    panic("svm_alloc called with mismatched sizes across cores");
-  }
-  rec.seen_mask |= u64{1} << rank;
-  return rec.base;
-}
-
-// ===========================================================================
-// Svm (per-core endpoint)
 
 Svm::Svm(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
          SvmDomain& domain)
-    : kernel_(kernel), mbox_(mbox), domain_(domain), core_(kernel.core()) {
+    : kernel_(kernel),
+      mbox_(mbox),
+      domain_(domain),
+      core_(kernel.core()),
+      runtime_(std::make_unique<SvmRuntime>(kernel, mbox, domain)) {
   const auto& members = domain_.members();
   for (std::size_t i = 0; i < members.size(); ++i) {
     if (members[i] == core_.id()) rank_ = static_cast<int>(i);
   }
   assert(rank_ >= 0 && "core is not a member of the SVM domain");
   next_vaddr_ = domain_.vbase();
+}
 
-  kernel_.set_svm_fault_handler(
-      [this](u64 vaddr, bool is_write) { handle_fault(vaddr, is_write); });
-  mbox_.set_handler(kMailOwnershipReq, [this](const mbox::Mail& m) {
-    serve_ownership_request(m);
-  });
-  mbox_.set_handler(kMailReadReq, [this](const mbox::Mail& m) {
-    serve_read_request(m);
-  });
-  mbox_.set_handler(kMailInval, [this](const mbox::Mail& m) {
-    serve_invalidation(m);
-  });
+Svm::~Svm() = default;
+
+const SvmStats& Svm::stats() const { return runtime_->stats(); }
+
+const proto::TraceRing& Svm::trace() const { return runtime_->trace(); }
+
+const proto::CoherencePolicy& Svm::policy() const {
+  return runtime_->policy();
 }
 
 u64 Svm::page_index_of(u64 vaddr) const {
-  return (vaddr - scc::kSvmVBase) / core_.chip().config().page_bytes;
-}
-
-Svm::RegionAttrs* Svm::region_of(u64 vaddr) {
-  const u64 page = core_.chip().config().page_bytes;
-  for (auto& r : regions_) {
-    if (vaddr >= r.base && vaddr < r.base + r.pages * page) return &r;
-  }
-  return nullptr;
+  return runtime_->page_index_of(vaddr);
 }
 
 // ---------------------------------------------------------------------------
@@ -245,17 +67,17 @@ u64 Svm::alloc(u64 bytes) {
   // Table 1 row 1: reserving 4 MiB costs ~741 us in total).
   core_.compute_cycles(
       pages * domain_.config().alloc_region_cycles_per_page);
-  regions_.push_back(RegionAttrs{base, pages, false, false});
+  runtime_->add_region(base, pages);
   next_vaddr_ = base + pages * page;
   barrier();
   return base;
 }
 
 void Svm::barrier() {
-  ++stats_.barriers;
+  ++runtime_->stats().barriers;
   // Release semantics: our writes must be in memory before we signal
   // arrival.
-  if (!domain_.config().sabotage.skip_release_flush) core_.flush_wcb();
+  runtime_->policy().on_release(*runtime_);
 
   if (domain_.config().barrier_algo == BarrierAlgo::kDissemination) {
     barrier_dissemination();
@@ -265,10 +87,7 @@ void Svm::barrier() {
 
   // Acquire semantics: under Lazy Release the data written by others
   // before the barrier must not be shadowed by stale cache lines.
-  if (model() == Model::kLazyRelease &&
-      !domain_.config().sabotage.skip_acquire_invalidate) {
-    core_.cl1invmb();
-  }
+  runtime_->policy().on_acquire(*runtime_);
 }
 
 void Svm::barrier_master_gather() {
@@ -354,8 +173,8 @@ void Svm::barrier_dissemination() {
 }
 
 void Svm::protect_readonly(u64 vaddr, u64 bytes) {
-  ++stats_.protect_calls;
-  RegionAttrs* region = region_of(vaddr);
+  ++runtime_->stats().protect_calls;
+  SvmRuntime::RegionAttrs* region = runtime_->region_of(vaddr);
   if (region == nullptr) panic("protect_readonly outside any SVM region");
   const u64 page = core_.chip().config().page_bytes;
   // Make our writes visible and drop our MPBT lines: the region's lines
@@ -375,7 +194,7 @@ void Svm::protect_readonly(u64 vaddr, u64 bytes) {
 }
 
 void Svm::unprotect(u64 vaddr, u64 bytes) {
-  RegionAttrs* region = region_of(vaddr);
+  SvmRuntime::RegionAttrs* region = runtime_->region_of(vaddr);
   if (region == nullptr) panic("unprotect outside any SVM region");
   const u64 page = core_.chip().config().page_bytes;
   // Drop all mappings: the next access re-faults through the normal
@@ -391,12 +210,13 @@ void Svm::unprotect(u64 vaddr, u64 bytes) {
   core_.l2().invalidate_all();
   core_.l1().invalidate_all();
   core_.compute_cycles(2000);  // software L2 flush is expensive (Sec. 3)
-  if (read_replication() && rank_ == 0) {
+  if (domain_.config().read_replication && model() == Model::kStrong &&
+      rank_ == 0) {
     // Every core just dropped its mappings, so no replica survives; a
     // stale Shared bit would let a future reader join the sharer set
     // without a grant while the owner re-faults a writable mapping.
     for (u64 off = 0; off < bytes; off += page) {
-      dir_write(page_index_of(vaddr + off), 0);
+      runtime_->meta().set_dir(page_index_of(vaddr + off), 0);
     }
   }
   region->readonly = false;
@@ -404,7 +224,7 @@ void Svm::unprotect(u64 vaddr, u64 bytes) {
 }
 
 void Svm::next_touch(u64 vaddr, u64 bytes) {
-  RegionAttrs* region = region_of(vaddr);
+  SvmRuntime::RegionAttrs* region = runtime_->region_of(vaddr);
   if (region == nullptr) panic("next_touch outside any SVM region");
   const u64 page = core_.chip().config().page_bytes;
   core_.flush_wcb();
@@ -415,16 +235,20 @@ void Svm::next_touch(u64 vaddr, u64 bytes) {
   }
   barrier();  // everyone unmapped
   if (rank_ == 0) {
+    proto::MetaWord& meta = runtime_->meta();
     for (u64 off = 0; off < bytes; off += page) {
       const u64 idx = page_index_of(vaddr + off);
-      const u16 entry = scratchpad_read(idx);
+      const u16 entry = meta.scratchpad(idx);
       if ((entry & kFrameMask) != 0) {
-        scratchpad_write(idx, entry | kMigrateBit);
+        meta.set_scratchpad(idx, entry | kMigrateBit);
       }
       // Migration installs a writable mapping without a directory
       // transition; reset the entry to Exclusive so no reader trusts a
       // stale Shared bit.
-      if (read_replication()) dir_write(idx, 0);
+      if (domain_.config().read_replication &&
+          model() == Model::kStrong) {
+        meta.set_dir(idx, 0);
+      }
     }
   }
   barrier();  // marks visible before anyone touches
@@ -434,7 +258,7 @@ void Svm::next_touch(u64 vaddr, u64 bytes) {
 // locks
 
 void Svm::lock_acquire(int lock_id) {
-  ++stats_.lock_acquires;
+  ++runtime_->stats().lock_acquires;
   const int reg = domain_.app_lock_reg(lock_id);
   u64 backoff = 16;
   while (!core_.tas_try_acquire(reg)) {
@@ -442,590 +266,13 @@ void Svm::lock_acquire(int lock_id) {
     backoff = std::min<u64>(backoff * 2, 4096);
   }
   // Entering the critical section: see the lock holder's released data.
-  if (model() == Model::kLazyRelease &&
-      !domain_.config().sabotage.skip_acquire_invalidate) {
-    core_.cl1invmb();
-  }
+  runtime_->policy().on_acquire(*runtime_);
 }
 
 void Svm::lock_release(int lock_id) {
   // Leaving: push our modifications down to memory.
-  if (!domain_.config().sabotage.skip_release_flush) core_.flush_wcb();
+  runtime_->policy().on_release(*runtime_);
   core_.tas_release(domain_.app_lock_reg(lock_id));
-}
-
-// ---------------------------------------------------------------------------
-// metadata accessors (simulated, uncached)
-
-u16 Svm::owner_read(u64 page_idx) {
-  return core_.pload<u16>(domain_.owner_entry_paddr(page_idx),
-                          scc::MemPolicy::kUncached);
-}
-
-void Svm::owner_write(u64 page_idx, u16 owner_core) {
-  core_.pstore<u16>(domain_.owner_entry_paddr(page_idx), owner_core,
-                    scc::MemPolicy::kUncached);
-}
-
-u64 Svm::dir_read(u64 page_idx) {
-  return core_.pload<u64>(domain_.sharer_entry_paddr(page_idx),
-                          scc::MemPolicy::kUncached);
-}
-
-void Svm::dir_write(u64 page_idx, u64 word) {
-  core_.pstore<u64>(domain_.sharer_entry_paddr(page_idx), word,
-                    scc::MemPolicy::kUncached);
-}
-
-u16 Svm::scratchpad_read(u64 page_idx) {
-  return core_.pload<u16>(domain_.scratchpad_entry_paddr(page_idx),
-                          scc::MemPolicy::kUncached);
-}
-
-void Svm::scratchpad_write(u64 page_idx, u16 value) {
-  core_.pstore<u16>(domain_.scratchpad_entry_paddr(page_idx), value,
-                    scc::MemPolicy::kUncached);
-}
-
-u16 Svm::alloc_frame_near(int preferred_mc) {
-  // Frames come from the preferred controller's quarter while it lasts,
-  // then fall back round-robin — the NUMA-style placement of Section 6.3.
-  //
-  // Each core draws from a private *batch* of contiguous frames and only
-  // refills the batch from the shared per-MC counter. Besides cutting
-  // counter traffic, this keeps one core's consecutively-touched pages
-  // physically contiguous: interleaving allocations from several cores
-  // would give every core's data an 8+ KiB physical stride, which maps
-  // whole row-streams onto the same L1 sets (the page-coloring problem).
-  const u16 freed = domain_.take_free_frame(preferred_mc);
-  if (freed != 0) return freed;
-  if (frame_batch_next_ < frame_batch_end_) {
-    core_.compute_cycles(20);
-    return frame_batch_next_++;
-  }
-  constexpr u16 kBatchFrames = 32;  // 128 KiB of contiguity
-  for (int k = 0; k < scc::Mesh::kNumMemControllers; ++k) {
-    const int mc = (preferred_mc + k) % scc::Mesh::kNumMemControllers;
-    const auto [lo, hi] = domain_.frame_range_of_mc(mc);
-    (void)lo;
-    const u64 next = core_.pload<u64>(domain_.mc_counter_paddr(mc),
-                                      scc::MemPolicy::kUncached);
-    if (next < hi) {
-      const u64 take = std::min<u64>(kBatchFrames, hi - next);
-      core_.pstore<u64>(domain_.mc_counter_paddr(mc), next + take,
-                        scc::MemPolicy::kUncached);
-      frame_batch_next_ = static_cast<u16>(next);
-      frame_batch_end_ = static_cast<u16>(next + take);
-      return frame_batch_next_++;
-    }
-    const u16 fallback = domain_.take_free_frame(mc);
-    if (fallback != 0) return fallback;
-  }
-  panic("out of shared SVM memory (all frame pools exhausted)");
-}
-
-void Svm::zero_frame(u16 frame_no) {
-  const u64 base = domain_.frame_paddr(frame_no);
-  const u32 line = core_.chip().config().line_bytes;
-  const u32 page = core_.chip().config().page_bytes;
-  const u8 zeros[64] = {0};
-  for (u32 off = 0; off < page; off += line) {
-    core_.pwrite(base + off, zeros, line, scc::MemPolicy::kMpbt);
-  }
-  core_.flush_wcb();
-}
-
-// ---------------------------------------------------------------------------
-// fault path
-
-namespace {
-
-/// Accumulates the virtual time spent inside the fault handler (protocol
-/// waits included) into the faulting core's stall telemetry; the RAII
-/// form also covers the SvmProtectionError throw.
-class FaultStallScope {
- public:
-  explicit FaultStallScope(scc::Core& core)
-      : core_(core), t0_(core.now()) {}
-  ~FaultStallScope() {
-    core_.counters().svm_fault_stall_ps += core_.now() - t0_;
-  }
-  FaultStallScope(const FaultStallScope&) = delete;
-  FaultStallScope& operator=(const FaultStallScope&) = delete;
-
- private:
-  scc::Core& core_;
-  TimePs t0_;
-};
-
-}  // namespace
-
-void Svm::handle_fault(u64 vaddr, bool is_write) {
-  if (is_write) {
-    ++core_.counters().svm_write_faults;
-  } else {
-    ++core_.counters().svm_read_faults;
-  }
-  FaultStallScope stall(core_);
-  RegionAttrs* region = region_of(vaddr);
-  if (region == nullptr) {
-    std::fprintf(stderr,
-                 "svm (core %d): fault at 0x%llx outside any region\n",
-                 core_.id(), static_cast<unsigned long long>(vaddr));
-    std::abort();
-  }
-  if (region->readonly && is_write) throw SvmProtectionError(vaddr);
-
-  const u64 page_idx = page_index_of(vaddr);
-  const scc::Pte* pte = core_.pagetable().find(vaddr);
-  if (pte == nullptr || !pte->present) {
-    mapping_fault(vaddr, page_idx, is_write);
-    return;
-  }
-  // Present but insufficient permission: a strong-model write to a page
-  // currently owned elsewhere would have been unmapped by the transfer
-  // (or, under read replication, to a page this core only holds a
-  // read-only replica of — the write upgrade).
-  if (is_write && !pte->writable && model() == Model::kStrong) {
-    acquire_ownership(vaddr, page_idx);
-    return;
-  }
-  panic("unresolvable SVM fault");
-}
-
-void Svm::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
-  core_.compute_cycles(domain_.config().map_software_cycles);
-  const u64 page_base = vaddr & ~(u64{core_.chip().config().page_bytes} - 1);
-  RegionAttrs* region = region_of(vaddr);
-
-  const int lock_reg = domain_.scratchpad_lock_reg(page_idx);
-  u64 backoff = 16;
-  while (!core_.tas_try_acquire(lock_reg)) {
-    core_.relax(backoff * core_.chip().config().core_cycle_ps());
-    backoff = std::min<u64>(backoff * 2, 4096);
-  }
-  u16 entry = scratchpad_read(page_idx);
-
-  if ((entry & kFrameMask) == 0) {
-    // First touch chip-wide: allocate near our memory controller, zero it
-    // and publish the 16-bit representation.
-    ++stats_.first_touch_allocs;
-    core_.compute_cycles(domain_.config().first_touch_software_cycles);
-    const u16 frame = alloc_frame_near(scc::Mesh::nearest_mc(core_.id()));
-    zero_frame(frame);
-    scratchpad_write(page_idx, frame);
-    owner_write(page_idx, static_cast<u16>(core_.id()));
-    core_.tas_release(lock_reg);
-    if (region->readonly) {
-      map_readonly(page_base, frame);
-    } else {
-      install_mapping(page_base, frame, /*writable=*/true);
-    }
-    return;
-  }
-
-  if ((entry & kMigrateBit) != 0) {
-    // Affinity-on-next-touch: we are the first toucher after the mark —
-    // move the frame next to our own controller.
-    ++stats_.migrations;
-    const u16 old_frame = entry & kFrameMask;
-    const int my_mc = scc::Mesh::nearest_mc(core_.id());
-    const u16 new_frame = alloc_frame_near(my_mc);
-    const u32 line = core_.chip().config().line_bytes;
-    const u32 page = core_.chip().config().page_bytes;
-    u8 buf[64];
-    for (u32 off = 0; off < page; off += line) {
-      core_.pread(domain_.frame_paddr(old_frame) + off, buf, line,
-                  scc::MemPolicy::kUncached);
-      core_.pwrite(domain_.frame_paddr(new_frame) + off, buf, line,
-                   scc::MemPolicy::kUncached);
-    }
-    const scc::PhysTarget old_target =
-        core_.chip().map().decode(domain_.frame_paddr(old_frame));
-    domain_.free_frame(old_target.owner, old_frame);
-    scratchpad_write(page_idx, new_frame);
-    owner_write(page_idx, static_cast<u16>(core_.id()));
-    core_.tas_release(lock_reg);
-    install_mapping(page_base, new_frame, /*writable=*/true);
-    return;
-  }
-
-  // Frame already exists: plain (re)mapping.
-  ++stats_.map_faults;
-  const u16 frame = entry & kFrameMask;
-  core_.tas_release(lock_reg);
-  if (region->readonly) {
-    map_readonly(page_base, frame);
-    return;
-  }
-  if (model() == Model::kStrong) {
-    if (read_replication() && !is_write) {
-      // Read-replication fast path: a read fault joins the sharer set
-      // (one grant round-trip at most) instead of moving ownership.
-      acquire_read_replica(page_base, page_idx, frame);
-      return;
-    }
-    // "the Strong Memory Model has to retrieve the access permissions
-    // from the page owner" (Section 7.2.1) — for reads as much as writes,
-    // since at each point in time only one owner may access the page.
-    acquire_ownership(page_base, page_idx);
-    return;
-  }
-  (void)is_write;
-  install_mapping(page_base, frame, /*writable=*/true);
-}
-
-void Svm::acquire_ownership(u64 page_vaddr, u64 page_idx) {
-  ++stats_.ownership_acquires;
-  core_.compute_cycles(domain_.config().ownership_software_cycles);
-  const u16 frame = scratchpad_read(page_idx) & kFrameMask;
-
-  // Fast path: we already own the page (e.g. a mapping dropped by
-  // unprotect or next_touch on a page we kept owning). Under read
-  // replication the directory word must also be clear — a Shared page
-  // (even with an empty sharer set) needs the locked path below to
-  // invalidate replicas and reset the state to Exclusive.
-  core_.irq_disable();
-  if (owner_read(page_idx) == core_.id() &&
-      (!read_replication() || dir_read(page_idx) == 0)) {
-    install_mapping(page_vaddr, frame, /*writable=*/true);
-    core_.irq_enable();
-    return;
-  }
-  core_.irq_enable();
-
-  // Serialise transfers of this page: with a free-for-all, a request can
-  // chase an owner that keeps moving (three or more contenders forward
-  // the mail around forever). While spinning — and while waiting for the
-  // ACK below — incoming ownership requests keep being served through the
-  // interrupt path, so the lock cannot deadlock the protocol.
-  const int treg = domain_.transfer_lock_reg(page_idx);
-  u64 spins = 0;
-  u64 backoff = 16;
-  while (!core_.tas_try_acquire(treg)) {
-    if (++spins % 100000 == 0) {
-      MSVM_LOG_ERROR(
-          "core %d: stuck spinning on transfer lock %d for page %llu "
-          "(holder=core %d, holder_page=%llu) t=%.3fms",
-          core_.id(), treg, static_cast<unsigned long long>(page_idx),
-          domain_.debug_lock_holder_[static_cast<std::size_t>(treg)],
-          static_cast<unsigned long long>(
-              domain_.debug_lock_page_[static_cast<std::size_t>(treg)]),
-          ps_to_ms(core_.now()));
-    }
-    core_.relax(backoff * core_.chip().config().core_cycle_ps());
-    backoff = std::min<u64>(backoff * 2, 4096);
-  }
-  domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
-  domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page_idx;
-
-  // Write upgrade, step 1 (read replication): multicast invalidations to
-  // every read replica and reset the directory to Exclusive. The sharer
-  // set is frozen while we hold the transfer lock — joining it requires
-  // the same lock.
-  if (read_replication()) invalidate_sharers(page_idx);
-
-  u64 rounds = 0;
-  for (;;) {
-    if (++rounds % 1000 == 0) {
-      MSVM_LOG_ERROR("core %d: acquire of page %llu not converging "
-                     "(round %llu, owner=%u)",
-                     core_.id(), static_cast<unsigned long long>(page_idx),
-                     static_cast<unsigned long long>(rounds),
-                     owner_read(page_idx));
-    }
-    const u16 owner = owner_read(page_idx);
-    if (owner == core_.id()) {
-      // Close the window between learning we own the page and mapping
-      // it: an incoming request handled in between would unmap it again.
-      core_.irq_disable();
-      if (owner_read(page_idx) == core_.id()) {
-        install_mapping(page_vaddr, frame, /*writable=*/true);
-        core_.irq_enable();
-        domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = -1;
-        core_.tas_release(treg);
-        return;
-      }
-      core_.irq_enable();
-      continue;
-    }
-    mbox::Mail req;
-    req.type = kMailOwnershipReq;
-    req.p0 = page_idx;
-    req.p1 = static_cast<u64>(core_.id());  // survives forwarding
-    MSVM_LOG_DEBUG("core %d: REQ page %llu -> owner %u", core_.id(),
-                   static_cast<unsigned long long>(page_idx), owner);
-    mbox_.send(owner, req);
-    if (domain_.config().ack_via_mail) {
-      (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
-        return m.type == kMailOwnershipAck && m.p0 == page_idx;
-      });
-      ++core_.counters().svm_mail_roundtrips;
-      MSVM_LOG_DEBUG("core %d: ACK page %llu consumed (owner now %u)",
-                     core_.id(),
-                     static_cast<unsigned long long>(page_idx),
-                     owner_read(page_idx));
-    } else {
-      // Prior-prototype scheme [14]: poll the off-die owner vector. This
-      // is the "memory wall" behaviour the mailbox+ACK design removes.
-      while (owner_read(page_idx) !=
-             static_cast<u16>(core_.id())) {
-        core_.yield();
-      }
-    }
-    // Loop re-verifies ownership and maps under masked interrupts.
-  }
-}
-
-void Svm::serve_ownership_request(const mbox::Mail& mail) {
-  const u64 page_idx = mail.p0;
-  const int requester = static_cast<int>(mail.p1);
-  core_.compute_cycles(domain_.config().ownership_software_cycles);
-  const u16 owner = owner_read(page_idx);
-  if (owner == requester) {
-    // Transfer already happened (raced with a forward); just confirm.
-    MSVM_LOG_DEBUG("core %d: CONFIRM page %llu to %d", core_.id(),
-                   static_cast<unsigned long long>(page_idx), requester);
-    if (domain_.config().ack_via_mail) {
-      mbox::Mail ack;
-      ack.type = kMailOwnershipAck;
-      ack.p0 = page_idx;
-      mbox_.send(requester, ack);
-    }
-    return;
-  }
-  if (owner != core_.id()) {
-    // We gave the page away before this request arrived: forward it to
-    // the core we handed it to.
-    MSVM_LOG_DEBUG("core %d: FWD page %llu req-by %d -> %u", core_.id(),
-                   static_cast<unsigned long long>(page_idx), requester,
-                   owner);
-    ++stats_.ownership_forwards;
-    mbox_.send(owner, mail);
-    return;
-  }
-  MSVM_LOG_DEBUG("core %d: SERVE page %llu -> %d t=%.3fms", core_.id(),
-                 static_cast<unsigned long long>(page_idx), requester,
-                 ps_to_ms(core_.now()));
-
-  // The paper's transfer sequence (Section 6.1, steps 3-5): flush the
-  // write-combine buffer, invalidate the tagged L1 entries, drop our
-  // access permission, publish the new owner, send the acknowledgment.
-  ++stats_.ownership_serves;
-  const auto& sabotage = domain_.config().sabotage;
-  if (!sabotage.skip_serve_wcb_flush) core_.flush_wcb();
-  if (!sabotage.skip_serve_cl1invmb) core_.cl1invmb();
-  const u64 page_vaddr =
-      scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
-  if (!sabotage.skip_serve_unmap) {
-    core_.pagetable().update(page_vaddr, [](scc::Pte& p) {
-      p.present = false;
-      p.writable = false;
-    });
-  }
-  owner_write(page_idx, static_cast<u16>(requester));
-  if (domain_.config().ack_via_mail) {
-    mbox::Mail ack;
-    ack.type = kMailOwnershipAck;
-    ack.p0 = page_idx;
-    mbox_.send(requester, ack);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// read-replication directory protocol (SvmConfig::read_replication)
-//
-// The owner vector is extended by a per-page directory word holding the
-// sharer bitmask and the Exclusive/Shared state (see kDirSharedBit). All
-// directory transitions happen under the page's transfer lock, except the
-// Exclusive->Shared downgrade the owner performs on behalf of the lock
-// holder while serving its read request.
-
-void Svm::acquire_read_replica(u64 page_vaddr, u64 page_idx, u16 frame) {
-  core_.compute_cycles(domain_.config().ownership_software_cycles);
-
-  // Fast path: we are the exclusive owner — remap writable without any
-  // protocol traffic (mirrors the ownership fast path).
-  core_.irq_disable();
-  if (owner_read(page_idx) == core_.id() && dir_read(page_idx) == 0) {
-    install_mapping(page_vaddr, frame, /*writable=*/true);
-    core_.irq_enable();
-    return;
-  }
-  core_.irq_enable();
-
-  // The transfer lock serialises directory transitions of this page:
-  // while we hold it no write upgrade can invalidate the replica we are
-  // about to install, and no other reader can race our sharer update.
-  const int treg = domain_.transfer_lock_reg(page_idx);
-  u64 backoff = 16;
-  while (!core_.tas_try_acquire(treg)) {
-    core_.relax(backoff * core_.chip().config().core_cycle_ps());
-    backoff = std::min<u64>(backoff * 2, 4096);
-  }
-  domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
-  domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page_idx;
-  const auto unlock = [&] {
-    domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = -1;
-    core_.tas_release(treg);
-  };
-
-  for (;;) {
-    const u16 owner = owner_read(page_idx);
-    if (owner == core_.id()) {
-      // We own the page after all (a transfer raced ahead of the
-      // fault). Shared: our mapping was downgraded — stay read-only so
-      // the sharer invariants hold; Exclusive: map writable.
-      core_.irq_disable();
-      if (owner_read(page_idx) == core_.id()) {
-        const bool shared = (dir_read(page_idx) & kDirSharedBit) != 0;
-        install_mapping(page_vaddr, frame, /*writable=*/!shared);
-        core_.irq_enable();
-        unlock();
-        return;
-      }
-      core_.irq_enable();
-      continue;
-    }
-    const u64 dir = dir_read(page_idx);
-    if ((dir & kDirSharedBit) != 0) {
-      // Already Shared: the owner flushed its WCB when the state was
-      // entered and cannot have written since (its mapping is read-only),
-      // so the frame is clean in DRAM — join the sharer set without
-      // contacting anyone. Stale MPBT lines from an earlier ownership of
-      // this page must not shadow the fresh data.
-      dir_write(page_idx, dir | dir_bit(core_.id()));
-      core_.cl1invmb();
-      install_mapping(page_vaddr, frame, /*writable=*/false);
-      ++stats_.replica_installs;
-      unlock();
-      return;
-    }
-    // Exclusive at a remote owner: one grant round-trip downgrades the
-    // owner to Shared. No ownership transfer, no CL1INVMB on the owner.
-    mbox::Mail req;
-    req.type = kMailReadReq;
-    req.p0 = page_idx;
-    req.p1 = static_cast<u64>(core_.id());  // survives forwarding
-    MSVM_LOG_DEBUG("core %d: READ-REQ page %llu -> owner %u", core_.id(),
-                   static_cast<unsigned long long>(page_idx), owner);
-    mbox_.send(owner, req);
-    (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
-      return m.type == kMailReadAck && m.p0 == page_idx;
-    });
-    ++core_.counters().svm_mail_roundtrips;
-    // Loop: the ACK normally means the Shared bit is now set; re-check
-    // in case the request chased a stale owner.
-  }
-}
-
-void Svm::serve_read_request(const mbox::Mail& mail) {
-  const u64 page_idx = mail.p0;
-  const int requester = static_cast<int>(mail.p1);
-  core_.compute_cycles(domain_.config().ownership_software_cycles);
-  const u16 owner = owner_read(page_idx);
-  if (owner == requester) {
-    // A forward raced with an ownership transfer to the requester
-    // itself; just confirm so its wait terminates.
-    mbox::Mail ack;
-    ack.type = kMailReadAck;
-    ack.p0 = page_idx;
-    mbox_.send(requester, ack);
-    return;
-  }
-  if (owner != core_.id()) {
-    // We gave the page away before this request arrived: chase the
-    // current owner.
-    ++stats_.ownership_forwards;
-    mbox_.send(owner, mail);
-    return;
-  }
-  MSVM_LOG_DEBUG("core %d: READ-GRANT page %llu -> %d", core_.id(),
-                 static_cast<unsigned long long>(page_idx), requester);
-  // Exclusive -> Shared: publish our writes and downgrade our own
-  // mapping so a later local write takes the upgrade path. Our L1 is
-  // write-through — it holds nothing newer than the WCB flush, so no
-  // CL1INVMB is needed (the saving over a full ownership transfer).
-  ++stats_.replica_grants;
-  core_.flush_wcb();
-  const u64 page_vaddr =
-      scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
-  core_.pagetable().update(page_vaddr,
-                           [](scc::Pte& p) { p.writable = false; });
-  dir_write(page_idx, dir_read(page_idx) | kDirSharedBit);
-  mbox::Mail ack;
-  ack.type = kMailReadAck;
-  ack.p0 = page_idx;
-  mbox_.send(requester, ack);
-}
-
-void Svm::serve_invalidation(const mbox::Mail& mail) {
-  const u64 page_idx = mail.p0;
-  const int requester = static_cast<int>(mail.p1);
-  core_.compute_cycles(domain_.config().ownership_software_cycles);
-  ++stats_.invalidations_received;
-  ++core_.counters().svm_inval_recv;
-  const u64 page_vaddr =
-      scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
-  // Drop the replica mapping and its cached lines: the replica is
-  // read-only and MPBT-typed, so CL1INVMB discards exactly the lines a
-  // future re-read must fetch fresh.
-  core_.pagetable().update(page_vaddr, [](scc::Pte& p) {
-    p.present = false;
-    p.writable = false;
-  });
-  core_.cl1invmb();
-  MSVM_LOG_DEBUG("core %d: INVAL page %llu (upgrade by %d)", core_.id(),
-                 static_cast<unsigned long long>(page_idx), requester);
-  mbox::Mail ack;
-  ack.type = kMailInvalAck;
-  ack.p0 = page_idx;
-  mbox_.send(requester, ack);
-}
-
-void Svm::invalidate_sharers(u64 page_idx) {
-  const u64 dir = dir_read(page_idx);
-  if (dir == 0) return;
-  const u64 mask = dir & kDirSharerMask & ~dir_bit(core_.id());
-  const int nshare = std::popcount(mask);
-  if (nshare > 0) {
-    mbox::Mail inv;
-    inv.type = kMailInval;
-    inv.p0 = page_idx;
-    inv.p1 = static_cast<u64>(core_.id());
-    mbox_.multicast(mask, inv);
-    stats_.invalidations_sent += static_cast<u64>(nshare);
-    core_.counters().svm_inval_sent += static_cast<u64>(nshare);
-    for (int i = 0; i < nshare; ++i) {
-      (void)mbox_.recv_match([page_idx](const mbox::Mail& m) {
-        return m.type == kMailInvalAck && m.p0 == page_idx;
-      });
-    }
-    ++core_.counters().svm_mail_roundtrips;  // one multicast round
-  }
-  dir_write(page_idx, 0);  // Exclusive again
-}
-
-void Svm::install_mapping(u64 page_vaddr, u16 frame_no, bool writable) {
-  scc::Pte pte;
-  pte.frame_paddr = domain_.frame_paddr(frame_no);
-  pte.present = true;
-  pte.writable = writable;
-  pte.mpbt = true;  // SVM pages are MPBT-typed: L1 WT + WCB, no L2
-  pte.l2_enable = false;
-  core_.pagetable().map(page_vaddr, pte);
-  core_.compute_cycles(80);
-}
-
-void Svm::map_readonly(u64 page_vaddr, u16 frame_no) {
-  scc::Pte pte;
-  pte.frame_paddr = domain_.frame_paddr(frame_no);
-  pte.present = true;
-  pte.writable = false;
-  pte.mpbt = false;  // read-only regions may use the L2 (Section 6.4)
-  pte.l2_enable = true;
-  core_.pagetable().map(page_vaddr, pte);
-  core_.compute_cycles(80);
 }
 
 }  // namespace msvm::svm

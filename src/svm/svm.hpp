@@ -17,41 +17,42 @@
 //    *owner vector*. A permission fault sends an ownership request
 //    through the mailbox system; the owner flushes its write-combine
 //    buffer, invalidates its MPBT-tagged L1 lines (CL1INVMB), drops its
-//    own mapping, publishes the new owner and replies by mail. The
-//    requester never polls the off-die owner vector while waiting — that
-//    is precisely the improvement over the authors' earlier prototype
-//    [14] (and our ablation bench can re-enable the old polling scheme).
+//    own mapping, publishes the new owner and replies by mail.
 //
 //  * Lazy Release Consistency — every core maps pages writable; data
-//    moves at synchronisation points only. Lock acquire invalidates the
-//    SVM-tagged L1 lines; lock release (and the collective barrier)
-//    flushes the write-combine buffer. Because WCB flushes write only
-//    *dirty bytes*, two cores may safely write disjoint parts of one page
-//    between barriers.
+//    moves at synchronisation points only (diff-free WCB flushes).
 //
-// Read-only regions (Section 6.4): a collective protect_readonly() clears
-// the R/W and MPBT bits, which both traps stray writes and lets the
-// otherwise-unusable L2 cache serve the region.
+// Since the protocol-engine refactor the subsystem is layered:
 //
-// Affinity-on-Next-Touch (Section 8, outlook; implemented here as the
-// paper's proposed extension): a collective next_touch() marks pages for
-// migration; the next toucher copies the frame next to its own memory
-// controller.
+//   svm/protocol/   the transport-agnostic protocol core: the per-page
+//                   state machine, CoherencePolicy implementations
+//                   (StrongOwnerPolicy / ReadReplicationPolicy /
+//                   LrcPolicy), typed metadata ops (MetaWord) and the
+//                   transition trace ring. No sccsim/sim/mailbox
+//                   includes (CI-enforced).
+//   svm_runtime.*   the binding layer: adapts page faults, mbox::Mail
+//                   traffic, CL1INVMB/WCB callbacks and the simulated
+//                   owner-vector/directory/scratchpad words to the core.
+//   svm.* (this)    the thin per-core endpoint: collectives (alloc,
+//                   barrier, protect), locks, and the SvmDomain layout.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "kernel/kernel.hpp"
 #include "mailbox/mailbox.hpp"
 #include "sccsim/chip.hpp"
+#include "svm/protocol/policy.hpp"
 
 namespace msvm::svm {
 
 enum class Model : u8 { kStrong, kLazyRelease };
 
-/// Mail types used by the ownership protocol.
+/// Mail types used by the ownership protocol (the on-wire values of
+/// proto::MsgType; the binding layer converts by cast).
 inline constexpr u8 kMailOwnershipReq = 0x20;
 inline constexpr u8 kMailOwnershipAck = 0x21;
 /// Mail types used by the read-replication extension (see
@@ -62,17 +63,19 @@ inline constexpr u8 kMailReadAck = 0x23;
 inline constexpr u8 kMailInval = 0x24;
 inline constexpr u8 kMailInvalAck = 0x25;
 
-/// Directory word layout (read-replication mode; one u64 per page in the
-/// off-die metadata area). Bits [0, 48): sharer bitmask — cores holding a
-/// read-only replica, never including the owner. Bit 63: the page is in
-/// the Shared state, i.e. the owner downgraded its own mapping to
-/// read-only and the frame in DRAM is clean.
-inline constexpr u64 kDirSharedBit = u64{1} << 63;
-inline constexpr u64 kDirSharerMask = (u64{1} << 48) - 1;
-inline constexpr u64 dir_bit(int core_id) { return u64{1} << core_id; }
+/// Directory word layout (read-replication mode) — canonical definitions
+/// live in the protocol core; re-exported here for the full-stack tests.
+using proto::dir_bit;
+using proto::kDirSharedBit;
+using proto::kDirSharerMask;
+
+/// Per-core protocol/runtime statistics (defined in the protocol core so
+/// policies can update their slice without seeing runtime headers).
+using SvmStats = proto::SvmStats;
 
 /// Thrown (into the faulting simulated program) on a write to a page
 /// protected with protect_readonly() — the debugging aid of Section 6.4.
+/// The faulting core's protocol-event trace is dumped to stderr first.
 class SvmProtectionError : public std::runtime_error {
  public:
   explicit SvmProtectionError(u64 vaddr)
@@ -121,19 +124,9 @@ struct SvmConfig {
   u32 first_touch_software_cycles = 54500;
   u32 ownership_software_cycles = 400;
 
-  /// Fault-injection switches (testing only): each one removes a single
-  /// step of the consistency protocols. Because the simulated caches
-  /// carry real data, enabling any of these must produce *wrong results*
-  /// in the protocol tests — evidence that the simulator's incoherence
-  /// is real and the protocol steps are all load-bearing.
-  struct Sabotage {
-    bool skip_serve_wcb_flush = false;   // Strong step 3a (Section 6.1)
-    bool skip_serve_cl1invmb = false;    // Strong step 3b
-    bool skip_serve_unmap = false;       // Strong "clears its access
-                                         // permission"
-    bool skip_release_flush = false;     // LRC release (Section 6.2)
-    bool skip_acquire_invalidate = false;  // LRC acquire
-  } sabotage;
+  /// Fault-injection switches (testing only) — see proto::Sabotage.
+  using Sabotage = proto::Sabotage;
+  Sabotage sabotage;
 };
 
 /// Chip-wide SVM bookkeeping shared by all per-core Svm endpoints:
@@ -225,7 +218,7 @@ class SvmDomain {
 
  public:
   // Host-side diagnostics (no simulated cost): who holds each transfer
-  // lock and for which page; written by Svm::acquire_ownership.
+  // lock and for which page; written by SvmRuntime::transfer_lock.
   std::vector<int> debug_lock_holder_;
   std::vector<u64> debug_lock_page_;
 
@@ -239,32 +232,28 @@ class SvmDomain {
   std::vector<u64> next_alloc_seq_;  // per rank
 };
 
-struct SvmStats {
-  u64 map_faults = 0;          // frame existed, mapping installed
-  u64 first_touch_allocs = 0;  // this core allocated the frame
-  u64 ownership_acquires = 0;  // strong-model permission retrievals
-  u64 ownership_serves = 0;    // requests this core answered as owner
-  u64 ownership_forwards = 0;  // stale requests forwarded onward
-  u64 migrations = 0;          // next-touch frame moves
-  u64 barriers = 0;
-  u64 lock_acquires = 0;
-  u64 protect_calls = 0;
-  // Read-replication directory protocol (all zero with the flag off).
-  u64 replica_installs = 0;    // read-only replica mappings installed
-  u64 replica_grants = 0;      // Exclusive->Shared downgrades served
-  u64 invalidations_sent = 0;  // per-sharer invalidation mails sent
-  u64 invalidations_received = 0;  // replicas this core dropped on demand
-};
+class SvmRuntime;
 
-/// Per-core SVM endpoint. Installs itself as the kernel's SVM fault
-/// handler and as the mailbox handler for ownership requests.
+/// Per-core SVM endpoint. Owns the binding layer (SvmRuntime) that
+/// installs itself as the kernel's SVM fault handler and as the mailbox
+/// handler for the protocol mail types, and the CoherencePolicy instance
+/// the runtime drives.
 class Svm {
  public:
   Svm(kernel::Kernel& kernel, mbox::MailboxSystem& mbox, SvmDomain& domain);
+  ~Svm();
 
   int rank() const { return rank_; }
   Model model() const { return domain_.config().model; }
-  const SvmStats& stats() const { return stats_; }
+  const SvmStats& stats() const;
+
+  /// The per-core protocol-event ring (state transitions, messages,
+  /// metadata writes) — rendered by the cluster report's `svm-trace`
+  /// section and dumped on SvmProtectionError.
+  const proto::TraceRing& trace() const;
+
+  /// The coherence policy driving this endpoint's page state machine.
+  const proto::CoherencePolicy& policy() const;
 
   // ---- collective operations (every member must call, same args) ----
 
@@ -272,8 +261,9 @@ class Svm {
   /// (identical on every member). No physical memory is allocated yet.
   u64 alloc(u64 bytes);
 
-  /// Barrier with consistency semantics: WCB flush before arrival and —
-  /// under Lazy Release — CL1INVMB after release.
+  /// Barrier with consistency semantics: the policy's release hook (WCB
+  /// flush) before arrival and its acquire hook (CL1INVMB under Lazy
+  /// Release) after release.
   void barrier();
 
   /// Marks [vaddr, vaddr+bytes) read-only and L2-cacheable (Section 6.4).
@@ -309,59 +299,17 @@ class Svm {
   void barrier_master_gather();
   void barrier_dissemination();
 
-  // Fault-path pieces.
-  void handle_fault(u64 vaddr, bool is_write);
-  void mapping_fault(u64 vaddr, u64 page_idx, bool is_write);
-  void acquire_ownership(u64 vaddr, u64 page_idx);
-  void serve_ownership_request(const mbox::Mail& mail);
-  void install_mapping(u64 vaddr, u16 frame_no, bool writable);
-  void map_readonly(u64 vaddr, u16 frame_no);
-
-  // Read-replication pieces (active only with cfg.read_replication).
-  bool read_replication() const {
-    return domain_.config().read_replication && model() == Model::kStrong;
-  }
-  void acquire_read_replica(u64 vaddr, u64 page_idx, u16 frame_no);
-  void serve_read_request(const mbox::Mail& mail);
-  void serve_invalidation(const mbox::Mail& mail);
-  /// Multicasts invalidations to every sharer of `page_idx` (except this
-  /// core), waits for all ACKs, and resets the directory word to
-  /// Exclusive. Must be called holding the page's transfer lock.
-  void invalidate_sharers(u64 page_idx);
-
-  // Simulated metadata accessors (all uncached).
-  u16 owner_read(u64 page_idx);
-  void owner_write(u64 page_idx, u16 owner_core);
-  u64 dir_read(u64 page_idx);
-  void dir_write(u64 page_idx, u64 word);
-  u16 scratchpad_read(u64 page_idx);
-  void scratchpad_write(u64 page_idx, u16 value);
-  u16 alloc_frame_near(int mc);
-  void zero_frame(u16 frame_no);
-
   u64 page_index_of(u64 vaddr) const;
 
   kernel::Kernel& kernel_;
   mbox::MailboxSystem& mbox_;
   SvmDomain& domain_;
   scc::Core& core_;
+  std::unique_ptr<SvmRuntime> runtime_;
   int rank_ = -1;
-  SvmStats stats_;
   u64 next_vaddr_ = 0;  // per-core bump, kept symmetric by collectives
   u8 barrier_sense_ = 1;
   u64 diss_seq_ = 0;  // dissemination-barrier instance counter
-  // Private batch of contiguous frames (see alloc_frame_near).
-  u16 frame_batch_next_ = 0;
-  u16 frame_batch_end_ = 0;
-
-  struct RegionAttrs {
-    u64 base;
-    u64 pages;
-    bool readonly = false;
-    bool migrate_pending = false;  // set by next_touch until first touch
-  };
-  std::vector<RegionAttrs> regions_;
-  RegionAttrs* region_of(u64 vaddr);
 };
 
 }  // namespace msvm::svm

@@ -1,0 +1,192 @@
+// SvmDomain — chip-wide SVM bookkeeping: the simulated-memory layout of
+// the owner vector, scratchpad, directory and per-MC frame allocators,
+// plus the host-side collective/allocation records. Pure layout and
+// bookkeeping; no protocol logic lives here.
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sccsim/addrmap.hpp"
+#include "svm/svm.hpp"
+
+namespace msvm::svm {
+
+namespace {
+
+using proto::kFrameMask;
+
+[[noreturn]] void panic(const char* msg) {
+  std::fprintf(stderr, "msvm::svm panic: %s\n", msg);
+  std::abort();
+}
+
+u64 round_up(u64 v, u64 to) { return (v + to - 1) / to * to; }
+
+}  // namespace
+
+SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
+                     std::vector<int> members, int slot, int num_slots)
+    : chip_(chip),
+      cfg_(cfg),
+      members_(std::move(members)),
+      free_frames_(scc::Mesh::kNumMemControllers),
+      next_alloc_seq_(members_.size(), 0) {
+  assert(num_slots >= 1 && slot >= 0 && slot < num_slots);
+  debug_lock_holder_.assign(64, -1);
+  debug_lock_page_.assign(64, 0);
+  const scc::ChipConfig& ccfg = chip_.config();
+  const u64 page = ccfg.page_bytes;
+
+  entries_per_mpb_ = (mbox::kScratchpadBytes - 64) / 2;
+  const u64 total_capacity =
+      static_cast<u64>(ccfg.num_cores) * entries_per_mpb_;
+  // Coherency-domain partitioning: each slot owns a disjoint share of
+  // the page-index space (and therefore of the scratchpad/owner-vector
+  // entries and the virtual address range).
+  svm_page_capacity_ = total_capacity / static_cast<u64>(num_slots);
+  page_index_base_ = static_cast<u64>(slot) * svm_page_capacity_;
+
+  // Metadata at the tail of shared DRAM: 64 bytes of per-MC frame
+  // counters, then the owner vector, then the off-die scratchpad area
+  // (always reserved so the ablation flag does not change frame
+  // numbers), then — only in read-replication mode, so that flag-off
+  // runs keep the paper's exact layout — one 8-byte directory sharer
+  // word per page. Sized for the whole chip so every slot sees the same
+  // layout.
+  const u64 meta_bytes =
+      64 + 4 * total_capacity +
+      (cfg_.read_replication ? 8 * total_capacity : 0);
+  if (round_up(meta_bytes, page) + page >= ccfg.shared_dram_bytes) {
+    panic("shared DRAM too small for SVM metadata");
+  }
+  meta_base_ = ccfg.shared_dram_bytes - round_up(meta_bytes, page);
+
+  // Seed the per-MC frame allocator counters in *simulated* memory (the
+  // kernel would write these at boot). Slot 0 does it; later slots must
+  // not reset the chip-level allocators.
+  if (slot == 0) {
+    for (int mc = 0; mc < scc::Mesh::kNumMemControllers; ++mc) {
+      const auto [lo, hi] = frame_range_of_mc(mc);
+      (void)hi;
+      const u64 v = lo;
+      chip_.memory().write(mc_counter_paddr(mc), &v, sizeof(v));
+    }
+  }
+}
+
+u64 SvmDomain::vbase() const {
+  return scc::kSvmVBase + page_index_base_ * chip_.config().page_bytes;
+}
+
+std::pair<u16, u16> SvmDomain::frame_range_of_mc(int mc) const {
+  const scc::ChipConfig& ccfg = chip_.config();
+  const u64 page = ccfg.page_bytes;
+  const u64 quarter = ccfg.shared_dram_bytes / scc::Mesh::kNumMemControllers;
+  const u64 frames_limit = meta_base_ / page;  // metadata is off-limits
+  u64 lo = static_cast<u64>(mc) * quarter / page;
+  u64 hi = (static_cast<u64>(mc) + 1) * quarter / page;
+  if (lo == 0) lo = 1;  // frame 0 is the "unallocated" sentinel
+  hi = std::min(hi, frames_limit);
+  lo = std::min(lo, hi);
+  if (hi > kFrameMask) panic("shared DRAM exceeds 15-bit frame space");
+  return {static_cast<u16>(lo), static_cast<u16>(hi)};
+}
+
+u64 SvmDomain::owner_entry_paddr(u64 page_idx) const {
+  assert(page_idx >= page_index_base_ &&
+         page_idx < page_index_base_ + svm_page_capacity_);
+  return scc::kSharedBase + meta_base_ + 64 + 2 * page_idx;
+}
+
+u64 SvmDomain::scratchpad_entry_paddr(u64 page_idx) const {
+  assert(page_idx >= page_index_base_ &&
+         page_idx < page_index_base_ + svm_page_capacity_);
+  if (cfg_.scratchpad_offdie) {
+    return scc::kSharedBase + meta_base_ + 64 + 2 * svm_page_capacity_ +
+           2 * page_idx;
+  }
+  const int core = static_cast<int>(page_idx / entries_per_mpb_);
+  const u32 off = static_cast<u32>(page_idx % entries_per_mpb_) * 2;
+  return chip_.map().mpb_base(core) + kEntriesOff + off;
+}
+
+u64 SvmDomain::sharer_entry_paddr(u64 page_idx) const {
+  assert(cfg_.read_replication &&
+         "directory sharer words exist only in read-replication mode");
+  assert(page_idx >= page_index_base_ &&
+         page_idx < page_index_base_ + svm_page_capacity_);
+  const u64 total_capacity =
+      static_cast<u64>(chip_.config().num_cores) * entries_per_mpb_;
+  return scc::kSharedBase + meta_base_ + 64 + 4 * total_capacity +
+         8 * page_idx;
+}
+
+u64 SvmDomain::mc_counter_paddr(int mc) const {
+  return scc::kSharedBase + meta_base_ + 8 * static_cast<u64>(mc);
+}
+
+u64 SvmDomain::frame_paddr(u16 frame_no) const {
+  return scc::kSharedBase +
+         static_cast<u64>(frame_no) * chip_.config().page_bytes;
+}
+
+// The 48-register TAS file is partitioned statically: scratchpad stripes
+// and transfer locks share the lower half, application locks take the
+// upper half. SVM fault handling can therefore never self-deadlock on a
+// register aliased with an application lock the faulting code holds.
+int SvmDomain::scratchpad_lock_reg(u64 page_idx) const {
+  const u32 half = scc::Mesh::kMaxCores / 2;
+  const u32 stripes =
+      std::max(1u, std::min(cfg_.scratchpad_lock_stripes, half));
+  return static_cast<int>(page_idx % stripes);
+}
+
+int SvmDomain::transfer_lock_reg(u64 page_idx) const {
+  // Shares the lower half with the scratchpad stripes; the two are never
+  // held simultaneously, so aliasing only costs contention, not deadlock.
+  return static_cast<int>(page_idx % (scc::Mesh::kMaxCores / 2));
+}
+
+int SvmDomain::app_lock_reg(int lock_id) const {
+  constexpr int kHalf = scc::Mesh::kMaxCores / 2;
+  return kHalf + lock_id % kHalf;
+}
+
+void SvmDomain::free_frame(int mc, u16 frame_no) {
+  free_frames_[static_cast<std::size_t>(mc)].push_back(frame_no);
+}
+
+u16 SvmDomain::take_free_frame(int mc) {
+  auto& list = free_frames_[static_cast<std::size_t>(mc)];
+  if (list.empty()) return 0;
+  const u16 f = list.back();
+  list.pop_back();
+  return f;
+}
+
+u64 SvmDomain::register_alloc(int rank, u64 bytes) {
+  const u64 page = chip_.config().page_bytes;
+  const u64 seq = next_alloc_seq_[static_cast<std::size_t>(rank)]++;
+  if (seq == allocs_.size()) {
+    // First member to reach this collective call defines the region.
+    const u64 prev_end =
+        allocs_.empty()
+            ? vbase()
+            : allocs_.back().base +
+                  round_up(allocs_.back().bytes, page);
+    if ((prev_end - vbase()) / page + round_up(bytes, page) / page >
+        svm_page_capacity_) {
+      panic("svm_alloc exceeds scratchpad capacity");
+    }
+    allocs_.push_back(AllocRecord{bytes, prev_end, 0});
+  }
+  AllocRecord& rec = allocs_.at(seq);
+  if (rec.bytes != bytes) {
+    panic("svm_alloc called with mismatched sizes across cores");
+  }
+  rec.seen_mask |= u64{1} << rank;
+  return rec.base;
+}
+
+}  // namespace msvm::svm

@@ -1,0 +1,459 @@
+#include "svm/svm_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sccsim/addrmap.hpp"
+#include "sim/log.hpp"
+
+namespace msvm::svm {
+
+namespace {
+
+using proto::kFrameMask;
+using proto::kMigrateBit;
+
+[[noreturn]] void panic(const char* msg) {
+  std::fprintf(stderr, "msvm::svm panic: %s\n", msg);
+  std::abort();
+}
+
+std::unique_ptr<proto::CoherencePolicy> make_policy(const SvmConfig& cfg) {
+  proto::PolicyConfig pcfg;
+  pcfg.ack_via_mail = cfg.ack_via_mail;
+  pcfg.ownership_software_cycles = cfg.ownership_software_cycles;
+  pcfg.sabotage = cfg.sabotage;
+  if (cfg.model == Model::kStrong) {
+    if (cfg.read_replication) {
+      return std::make_unique<proto::ReadReplicationPolicy>(pcfg);
+    }
+    return std::make_unique<proto::StrongOwnerPolicy>(pcfg);
+  }
+  return std::make_unique<proto::LrcPolicy>(pcfg);
+}
+
+/// Accumulates the virtual time spent inside the fault handler (protocol
+/// waits included) into the faulting core's stall telemetry; the RAII
+/// form also covers the SvmProtectionError throw.
+class FaultStallScope {
+ public:
+  explicit FaultStallScope(scc::Core& core)
+      : core_(core), t0_(core.now()) {}
+  ~FaultStallScope() {
+    core_.counters().svm_fault_stall_ps += core_.now() - t0_;
+  }
+  FaultStallScope(const FaultStallScope&) = delete;
+  FaultStallScope& operator=(const FaultStallScope&) = delete;
+
+ private:
+  scc::Core& core_;
+  TimePs t0_;
+};
+
+}  // namespace
+
+SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
+                       SvmDomain& domain)
+    : kernel_(kernel),
+      mbox_(mbox),
+      domain_(domain),
+      core_(kernel.core()),
+      meta_word_(*this, &trace_),
+      policy_(make_policy(domain.config())) {
+  kernel_.set_svm_fault_handler(
+      [this](u64 vaddr, bool is_write) { handle_fault(vaddr, is_write); });
+  mbox_.set_handler(kMailOwnershipReq,
+                    [this](const mbox::Mail& m) { dispatch_mail(m); });
+  mbox_.set_handler(kMailReadReq,
+                    [this](const mbox::Mail& m) { dispatch_mail(m); });
+  mbox_.set_handler(kMailInval,
+                    [this](const mbox::Mail& m) { dispatch_mail(m); });
+}
+
+u64 SvmRuntime::page_index_of(u64 vaddr) const {
+  return (vaddr - scc::kSvmVBase) / core_.chip().config().page_bytes;
+}
+
+u64 SvmRuntime::page_vaddr_of(u64 page_idx) const {
+  return scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
+}
+
+SvmRuntime::RegionAttrs* SvmRuntime::region_of(u64 vaddr) {
+  const u64 page = core_.chip().config().page_bytes;
+  for (auto& r : regions_) {
+    if (vaddr >= r.base && vaddr < r.base + r.pages * page) return &r;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// mail dispatch
+
+void SvmRuntime::dispatch_mail(const mbox::Mail& mail) {
+  const proto::Msg msg{static_cast<proto::MsgType>(mail.type), mail.p0,
+                       static_cast<int>(mail.p1)};
+  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
+                                  static_cast<u64>(msg.type),
+                                  static_cast<u64>(msg.requester)});
+  policy_->on_message(msg, *this);
+}
+
+// ---------------------------------------------------------------------------
+// fault path
+
+void SvmRuntime::handle_fault(u64 vaddr, bool is_write) {
+  if (is_write) {
+    ++core_.counters().svm_write_faults;
+  } else {
+    ++core_.counters().svm_read_faults;
+  }
+  FaultStallScope stall(core_);
+  const u64 page_idx = page_index_of(vaddr);
+  trace_.record(proto::TraceEvent{proto::TraceKind::kFault, page_idx,
+                                  is_write ? u64{1} : u64{0}, 0});
+  RegionAttrs* region = region_of(vaddr);
+  if (region == nullptr) {
+    std::fprintf(stderr,
+                 "svm (core %d): fault at 0x%llx outside any region\n",
+                 core_.id(), static_cast<unsigned long long>(vaddr));
+    std::abort();
+  }
+  if (region->readonly && is_write) {
+    // The debugging aid of Section 6.4: surface the faulting core's
+    // recent protocol history alongside the error.
+    std::fprintf(stderr,
+                 "svm (core %d): write to read-only region at 0x%llx; "
+                 "last protocol events:\n%s",
+                 core_.id(), static_cast<unsigned long long>(vaddr),
+                 trace_.dump("  svm-trace: ").c_str());
+    throw SvmProtectionError(vaddr);
+  }
+
+  const scc::Pte* pte = core_.pagetable().find(vaddr);
+  if (pte == nullptr || !pte->present) {
+    mapping_fault(vaddr, page_idx, is_write);
+    return;
+  }
+  // Present but insufficient permission: a strong-model write to a page
+  // currently owned elsewhere would have been unmapped by the transfer
+  // (or, under read replication, to a page this core only holds a
+  // read-only replica of — the write upgrade). The policy re-reads the
+  // frame number under its own serialisation.
+  if (is_write && !pte->writable &&
+      domain_.config().model == Model::kStrong) {
+    policy_->fault(page_idx, /*frame=*/0, /*is_write=*/true, *this);
+    return;
+  }
+  panic("unresolvable SVM fault");
+}
+
+void SvmRuntime::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
+  core_.compute_cycles(domain_.config().map_software_cycles);
+  const u64 page_base =
+      vaddr & ~(u64{core_.chip().config().page_bytes} - 1);
+  RegionAttrs* region = region_of(vaddr);
+
+  const int lock_reg = domain_.scratchpad_lock_reg(page_idx);
+  u64 backoff = 16;
+  while (!core_.tas_try_acquire(lock_reg)) {
+    core_.relax(backoff * core_.chip().config().core_cycle_ps());
+    backoff = std::min<u64>(backoff * 2, 4096);
+  }
+  u16 entry = meta_word_.scratchpad(page_idx);
+
+  if ((entry & kFrameMask) == 0) {
+    // First touch chip-wide: allocate near our memory controller, zero it
+    // and publish the 16-bit representation.
+    ++stats_.first_touch_allocs;
+    core_.compute_cycles(domain_.config().first_touch_software_cycles);
+    const u16 frame = alloc_frame_near(scc::Mesh::nearest_mc(core_.id()));
+    zero_frame(frame);
+    meta_word_.set_scratchpad(page_idx, frame);
+    meta_word_.set_owner(page_idx, static_cast<u16>(core_.id()));
+    core_.tas_release(lock_reg);
+    if (region->readonly) {
+      map_readonly(page_base, frame);
+    } else {
+      install_mapping(page_base, frame, /*writable=*/true);
+    }
+    policy_->note_mapped(page_idx, !region->readonly, *this);
+    return;
+  }
+
+  if ((entry & kMigrateBit) != 0) {
+    // Affinity-on-next-touch: we are the first toucher after the mark —
+    // move the frame next to our own controller.
+    ++stats_.migrations;
+    const u16 old_frame = entry & kFrameMask;
+    const int my_mc = scc::Mesh::nearest_mc(core_.id());
+    const u16 new_frame = alloc_frame_near(my_mc);
+    const u32 line = core_.chip().config().line_bytes;
+    const u32 page = core_.chip().config().page_bytes;
+    u8 buf[64];
+    for (u32 off = 0; off < page; off += line) {
+      core_.pread(domain_.frame_paddr(old_frame) + off, buf, line,
+                  scc::MemPolicy::kUncached);
+      core_.pwrite(domain_.frame_paddr(new_frame) + off, buf, line,
+                   scc::MemPolicy::kUncached);
+    }
+    const scc::PhysTarget old_target =
+        core_.chip().map().decode(domain_.frame_paddr(old_frame));
+    domain_.free_frame(old_target.owner, old_frame);
+    meta_word_.set_scratchpad(page_idx, new_frame);
+    meta_word_.set_owner(page_idx, static_cast<u16>(core_.id()));
+    core_.tas_release(lock_reg);
+    install_mapping(page_base, new_frame, /*writable=*/true);
+    policy_->note_mapped(page_idx, /*writable=*/true, *this);
+    return;
+  }
+
+  // Frame already exists: plain (re)mapping.
+  ++stats_.map_faults;
+  const u16 frame = entry & kFrameMask;
+  core_.tas_release(lock_reg);
+  if (region->readonly) {
+    map_readonly(page_base, frame);
+    policy_->note_mapped(page_idx, /*writable=*/false, *this);
+    return;
+  }
+  // Model-dependent tail: Strong retrieves the access permission from
+  // the page owner, read replication joins the sharer set on reads, LRC
+  // simply remaps writable.
+  policy_->fault(page_idx, frame, is_write, *this);
+}
+
+// ---------------------------------------------------------------------------
+// frame allocation
+
+u16 SvmRuntime::alloc_frame_near(int preferred_mc) {
+  // Each core draws from a private *batch* of contiguous frames and only
+  // refills the batch from the shared per-MC counter. Besides cutting
+  // counter traffic, this keeps one core's consecutively-touched pages
+  // physically contiguous: interleaving allocations from several cores
+  // would give every core's data an 8+ KiB physical stride, which maps
+  // whole row-streams onto the same L1 sets (the page-coloring problem).
+  const u16 freed = domain_.take_free_frame(preferred_mc);
+  if (freed != 0) return freed;
+  if (frame_batch_next_ < frame_batch_end_) {
+    core_.compute_cycles(20);
+    return frame_batch_next_++;
+  }
+  constexpr u16 kBatchFrames = 32;  // 128 KiB of contiguity
+  for (int k = 0; k < scc::Mesh::kNumMemControllers; ++k) {
+    const int mc = (preferred_mc + k) % scc::Mesh::kNumMemControllers;
+    const auto [lo, hi] = domain_.frame_range_of_mc(mc);
+    (void)lo;
+    const u64 next = core_.pload<u64>(domain_.mc_counter_paddr(mc),
+                                      scc::MemPolicy::kUncached);
+    if (next < hi) {
+      const u64 take = std::min<u64>(kBatchFrames, hi - next);
+      core_.pstore<u64>(domain_.mc_counter_paddr(mc), next + take,
+                        scc::MemPolicy::kUncached);
+      frame_batch_next_ = static_cast<u16>(next);
+      frame_batch_end_ = static_cast<u16>(next + take);
+      return frame_batch_next_++;
+    }
+    const u16 fallback = domain_.take_free_frame(mc);
+    if (fallback != 0) return fallback;
+  }
+  panic("out of shared SVM memory (all frame pools exhausted)");
+}
+
+void SvmRuntime::zero_frame(u16 frame_no) {
+  const u64 base = domain_.frame_paddr(frame_no);
+  const u32 line = core_.chip().config().line_bytes;
+  const u32 page = core_.chip().config().page_bytes;
+  const u8 zeros[64] = {0};
+  for (u32 off = 0; off < page; off += line) {
+    core_.pwrite(base + off, zeros, line, scc::MemPolicy::kMpbt);
+  }
+  core_.flush_wcb();
+}
+
+// ---------------------------------------------------------------------------
+// mappings
+
+void SvmRuntime::install_mapping(u64 page_vaddr, u16 frame_no,
+                                 bool writable) {
+  scc::Pte pte;
+  pte.frame_paddr = domain_.frame_paddr(frame_no);
+  pte.present = true;
+  pte.writable = writable;
+  pte.mpbt = true;  // SVM pages are MPBT-typed: L1 WT + WCB, no L2
+  pte.l2_enable = false;
+  core_.pagetable().map(page_vaddr, pte);
+  core_.compute_cycles(80);
+}
+
+void SvmRuntime::map_readonly(u64 page_vaddr, u16 frame_no) {
+  scc::Pte pte;
+  pte.frame_paddr = domain_.frame_paddr(frame_no);
+  pte.present = true;
+  pte.writable = false;
+  pte.mpbt = false;  // read-only regions may use the L2 (Section 6.4)
+  pte.l2_enable = true;
+  core_.pagetable().map(page_vaddr, pte);
+  core_.compute_cycles(80);
+}
+
+// ---------------------------------------------------------------------------
+// proto::ProtocolEnv — transport
+
+void SvmRuntime::send(int dest, const proto::Msg& m) {
+  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
+                                  static_cast<u64>(m.type),
+                                  static_cast<u64>(dest)});
+  mbox::Mail mail;
+  mail.type = static_cast<u8>(m.type);
+  mail.p0 = m.page;
+  mail.p1 = static_cast<u64>(m.requester);
+  mbox_.send(dest, mail);
+}
+
+int SvmRuntime::multicast(u64 dest_mask, const proto::Msg& m) {
+  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
+                                  static_cast<u64>(m.type), dest_mask});
+  mbox::Mail mail;
+  mail.type = static_cast<u8>(m.type);
+  mail.p0 = m.page;
+  mail.p1 = static_cast<u64>(m.requester);
+  return mbox_.multicast(dest_mask, mail);
+}
+
+proto::Msg SvmRuntime::wait_match(proto::MsgType type, u64 page) {
+  const u8 mail_type = static_cast<u8>(type);
+  const mbox::Mail mail =
+      mbox_.recv_match([mail_type, page](const mbox::Mail& m) {
+        return m.type == mail_type && m.p0 == page;
+      });
+  const proto::Msg msg{type, mail.p0, static_cast<int>(mail.p1)};
+  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
+                                  static_cast<u64>(msg.type),
+                                  static_cast<u64>(msg.requester)});
+  return msg;
+}
+
+void SvmRuntime::yield() { core_.yield(); }
+
+// ---------------------------------------------------------------------------
+// proto::ProtocolEnv — local page / cache actions
+
+void SvmRuntime::flush_wcb() { core_.flush_wcb(); }
+
+void SvmRuntime::cl1invmb() { core_.cl1invmb(); }
+
+void SvmRuntime::map_page(u64 page, u16 frame, bool writable) {
+  install_mapping(page_vaddr_of(page), frame, writable);
+}
+
+void SvmRuntime::unmap_page(u64 page) {
+  core_.pagetable().update(page_vaddr_of(page), [](scc::Pte& p) {
+    p.present = false;
+    p.writable = false;
+  });
+}
+
+void SvmRuntime::downgrade_page(u64 page) {
+  core_.pagetable().update(page_vaddr_of(page),
+                           [](scc::Pte& p) { p.writable = false; });
+}
+
+// ---------------------------------------------------------------------------
+// proto::ProtocolEnv — serialisation, cost, diagnostics
+
+void SvmRuntime::transfer_lock(u64 page) {
+  const int treg = domain_.transfer_lock_reg(page);
+  u64 spins = 0;
+  u64 backoff = 16;
+  while (!core_.tas_try_acquire(treg)) {
+    if (++spins % 100000 == 0) {
+      MSVM_LOG_ERROR(
+          "core %d: stuck spinning on transfer lock %d for page %llu "
+          "(holder=core %d, holder_page=%llu) t=%.3fms",
+          core_.id(), treg, static_cast<unsigned long long>(page),
+          domain_.debug_lock_holder_[static_cast<std::size_t>(treg)],
+          static_cast<unsigned long long>(
+              domain_.debug_lock_page_[static_cast<std::size_t>(treg)]),
+          ps_to_ms(core_.now()));
+    }
+    core_.relax(backoff * core_.chip().config().core_cycle_ps());
+    backoff = std::min<u64>(backoff * 2, 4096);
+  }
+  domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
+  domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page;
+}
+
+void SvmRuntime::transfer_unlock(u64 page) {
+  const int treg = domain_.transfer_lock_reg(page);
+  domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = -1;
+  core_.tas_release(treg);
+}
+
+void SvmRuntime::irq_off() { core_.irq_disable(); }
+
+void SvmRuntime::irq_on() { core_.irq_enable(); }
+
+void SvmRuntime::cost_cycles(u32 cycles) { core_.compute_cycles(cycles); }
+
+void SvmRuntime::hw_count(proto::HwEvent event, u64 delta) {
+  switch (event) {
+    case proto::HwEvent::kMailRoundtrip:
+      core_.counters().svm_mail_roundtrips += delta;
+      break;
+    case proto::HwEvent::kInvalSent:
+      core_.counters().svm_inval_sent += delta;
+      break;
+    case proto::HwEvent::kInvalRecv:
+      core_.counters().svm_inval_recv += delta;
+      break;
+  }
+}
+
+void SvmRuntime::warn(const char* message) {
+  MSVM_LOG_ERROR("core %d: %s t=%.3fms", core_.id(), message,
+                 ps_to_ms(core_.now()));
+}
+
+// ---------------------------------------------------------------------------
+// proto::MetaStore — one choke point for all metadata words (the former
+// owner_read/owner_write/dir_read/dir_write/scratchpad_read/
+// scratchpad_write boilerplate, deduplicated)
+
+u64 SvmRuntime::load(proto::MetaKind kind, u64 page) {
+  switch (kind) {
+    case proto::MetaKind::kOwner:
+      return core_.pload<u16>(domain_.owner_entry_paddr(page),
+                              scc::MemPolicy::kUncached);
+    case proto::MetaKind::kScratchpad:
+      return core_.pload<u16>(domain_.scratchpad_entry_paddr(page),
+                              scc::MemPolicy::kUncached);
+    case proto::MetaKind::kDirectory:
+      return core_.pload<u64>(domain_.sharer_entry_paddr(page),
+                              scc::MemPolicy::kUncached);
+  }
+  panic("unknown MetaKind load");
+}
+
+void SvmRuntime::store(proto::MetaKind kind, u64 page, u64 value) {
+  switch (kind) {
+    case proto::MetaKind::kOwner:
+      core_.pstore<u16>(domain_.owner_entry_paddr(page),
+                        static_cast<u16>(value),
+                        scc::MemPolicy::kUncached);
+      return;
+    case proto::MetaKind::kScratchpad:
+      core_.pstore<u16>(domain_.scratchpad_entry_paddr(page),
+                        static_cast<u16>(value),
+                        scc::MemPolicy::kUncached);
+      return;
+    case proto::MetaKind::kDirectory:
+      core_.pstore<u64>(domain_.sharer_entry_paddr(page), value,
+                        scc::MemPolicy::kUncached);
+      return;
+  }
+  panic("unknown MetaKind store");
+}
+
+}  // namespace msvm::svm

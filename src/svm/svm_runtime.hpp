@@ -1,0 +1,116 @@
+// SvmRuntime — the binding layer between the transport-agnostic protocol
+// core (svm/protocol/) and the simulated SCC. One instance per core; it
+//
+//   * implements proto::MetaStore by issuing uncached ploads/pstores at
+//     the SvmDomain's owner-vector / scratchpad / directory addresses,
+//   * implements proto::ProtocolEnv by binding message sends/waits to
+//     mbox::Mail traffic, page actions to the page table and the
+//     CL1INVMB/WCB callbacks, the transfer lock to its TAS register, and
+//     modelled costs to Core::compute_cycles,
+//   * owns the fault path: the kernel's SVM fault handler enters here,
+//     the model-independent first-touch / migration / remap machinery
+//     runs here, and everything protocol-shaped is delegated to the
+//     CoherencePolicy instance selected from SvmConfig.
+//
+// The Svm endpoint (svm.hpp) keeps only collectives, barriers and locks.
+#pragma once
+
+#include "svm/svm.hpp"
+
+namespace msvm::svm {
+
+class SvmRuntime final : public proto::ProtocolEnv,
+                         public proto::MetaStore {
+ public:
+  SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
+             SvmDomain& domain);
+
+  SvmRuntime(const SvmRuntime&) = delete;
+  SvmRuntime& operator=(const SvmRuntime&) = delete;
+
+  proto::CoherencePolicy& policy() { return *policy_; }
+  const proto::CoherencePolicy& policy() const { return *policy_; }
+
+  // ---- region registry (SVM virtual-address ranges from Svm::alloc) ----
+
+  struct RegionAttrs {
+    u64 base;
+    u64 pages;
+    bool readonly = false;
+  };
+  void add_region(u64 base, u64 pages) {
+    regions_.push_back(RegionAttrs{base, pages, false});
+  }
+  RegionAttrs* region_of(u64 vaddr);
+
+  // ---- fault path (installed as the kernel's SVM fault handler) ----
+
+  void handle_fault(u64 vaddr, bool is_write);
+
+  // ---- helpers shared with the Svm collectives ----
+
+  u64 page_index_of(u64 vaddr) const;
+  /// Installs the read-only-region mapping (L2-cacheable, Section 6.4).
+  void map_readonly(u64 page_vaddr, u16 frame_no);
+
+  // ---- proto::ProtocolEnv ----
+
+  int self() const override { return core_.id(); }
+  proto::MetaWord& meta() override { return meta_word_; }
+  proto::SvmStats& stats() override { return stats_; }
+  proto::TraceRing& trace() override { return trace_; }
+  void send(int dest, const proto::Msg& m) override;
+  int multicast(u64 dest_mask, const proto::Msg& m) override;
+  proto::Msg wait_match(proto::MsgType type, u64 page) override;
+  void yield() override;
+  void flush_wcb() override;
+  void cl1invmb() override;
+  void map_page(u64 page, u16 frame, bool writable) override;
+  void unmap_page(u64 page) override;
+  void downgrade_page(u64 page) override;
+  void transfer_lock(u64 page) override;
+  void transfer_unlock(u64 page) override;
+  void irq_off() override;
+  void irq_on() override;
+  void cost_cycles(u32 cycles) override;
+  void hw_count(proto::HwEvent event, u64 delta) override;
+  void warn(const char* message) override;
+
+  // ---- proto::MetaStore (uncached simulated-memory words) ----
+
+  u64 load(proto::MetaKind kind, u64 page) override;
+  void store(proto::MetaKind kind, u64 page, u64 value) override;
+
+ private:
+  /// Converts an incoming protocol mail and hands it to the policy.
+  void dispatch_mail(const mbox::Mail& mail);
+
+  /// Mapping fault: first touch, migration, or plain (re)mapping; the
+  /// model-dependent tail is delegated to the policy.
+  void mapping_fault(u64 vaddr, u64 page_idx, bool is_write);
+
+  /// Frames come from the preferred controller's quarter while it lasts,
+  /// then fall back round-robin — the NUMA-style placement of Sec. 6.3.
+  u16 alloc_frame_near(int preferred_mc);
+  void zero_frame(u16 frame_no);
+  void install_mapping(u64 page_vaddr, u16 frame_no, bool writable);
+  u64 page_vaddr_of(u64 page_idx) const;
+
+  kernel::Kernel& kernel_;
+  mbox::MailboxSystem& mbox_;
+  SvmDomain& domain_;
+  scc::Core& core_;
+
+  proto::TraceRing trace_;
+  proto::MetaWord meta_word_;
+  proto::SvmStats stats_;
+  std::unique_ptr<proto::CoherencePolicy> policy_;
+
+  // Private batch of contiguous frames (see alloc_frame_near).
+  u16 frame_batch_next_ = 0;
+  u16 frame_batch_end_ = 0;
+
+  std::vector<RegionAttrs> regions_;
+};
+
+}  // namespace msvm::svm

@@ -65,5 +65,36 @@ TEST(Report, SectionsCanBeDisabled) {
   EXPECT_NE(report.find("total"), std::string::npos);
 }
 
+TEST(Report, SvmTraceSectionWhenRequested) {
+  ClusterConfig cfg;
+  cfg.chip.num_cores = 2;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.chip.private_dram_bytes = 1 << 20;
+  cfg.members = {0, 1};
+  cfg.svm.model = svm::Model::kStrong;
+  Cluster cl(cfg);
+  cl.run([](Node& n) {
+    const u64 base = n.svm().alloc(4096);
+    n.svm().barrier();
+    // Both cores write the page: rank 1 first-touches or transfers, so
+    // protocol events land in both rings.
+    n.svm().write<u64>(base, static_cast<u64>(n.rank()));
+    n.svm().barrier();
+  });
+
+  const std::string without = format_report(cl);
+  EXPECT_EQ(without.find("svm-trace"), std::string::npos);
+
+  ReportOptions options;
+  options.svm_trace = true;
+  const std::string report = format_report(cl, options);
+  EXPECT_NE(report.find("svm-trace core 0"), std::string::npos);
+  EXPECT_NE(report.find("svm-trace core 1"), std::string::npos);
+  // Ring contents render through TraceRing::dump — state transitions and
+  // metadata writes of the ownership protocol.
+  EXPECT_NE(report.find("OwnedRW"), std::string::npos);
+  EXPECT_NE(report.find("owner :="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msvm::cluster

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Include-layering check for the coherence-protocol core.
+#
+# src/svm/protocol/ is the transport-agnostic protocol layer: policies and
+# the per-page state machine talk to the world through ProtocolEnv /
+# MetaStore only. Any project include from outside that directory —
+# sccsim, sim (fibers), mailbox, kernel, cluster, ... — would silently
+# re-couple the layer to the simulator, so the check rejects every quoted
+# project include that does not live under svm/protocol/ itself.
+#
+# CI runs this on every push; it is also registered as a ctest entry.
+set -eu
+cd "$(dirname "$0")/.."
+
+violations=$(grep -rn '#include *"' src/svm/protocol |
+  grep -v '#include *"svm/protocol/' || true)
+
+if [ -n "$violations" ]; then
+  echo "include-layering violation: src/svm/protocol/ must only include" >&2
+  echo "svm/protocol/ headers and the C++ standard library, found:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
+echo "include layering OK: src/svm/protocol/ is transport-agnostic"
