@@ -10,10 +10,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 
@@ -63,6 +65,31 @@ inline u64 arg_seed(int argc, char** argv, u64 fallback = 42) {
 /// The per-run workload generator, threaded from --seed: deterministic
 /// across platforms (xoshiro256**), reproducible from the JSON record.
 inline sim::Rng seeded_rng(u64 seed) { return sim::Rng(seed); }
+
+/// Parses "--key=string" overrides from argv.
+inline std::string arg_str(int argc, char** argv, const std::string& key,
+                           const std::string& fallback = "") {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+/// The chaos-layer fault plan for this run: "--faults=SPEC" wins, then
+/// the MSVM_FAULTS environment variable, then no faults. Exits with a
+/// usage message on a malformed spec rather than silently running clean.
+inline sim::FaultPlan arg_faults(int argc, char** argv) {
+  const std::string spec = arg_str(argc, argv, "faults");
+  try {
+    if (!spec.empty()) return sim::FaultPlan::parse(spec);
+    return sim::FaultPlan::from_env();
+  } catch (const sim::FaultSpecError& e) {
+    std::fprintf(stderr, "bad fault spec: %s\n", e.what());
+    std::exit(2);
+  }
+}
 
 /// Machine-readable companion to the console tables: collects config
 /// key/values and named sample series, then writes BENCH_<name>.json

@@ -1,0 +1,214 @@
+// Chaos campaign: run the three shared-memory workloads (Laplace,
+// matmul, histogram) under a matrix of seeded fault-injection plans and
+// assert the system's robustness contract — every run either completes
+// with bit-correct data or fails *cleanly* with a typed HangError
+// carrying a structured hang report. A silent hang, a bare deadlock
+// abort, or silently corrupted results all fail the campaign.
+//
+// Each plan draws its injection probabilities from a small set (so the
+// matrix covers single-fault and compound-fault runs) and fixes the
+// recovery envelope: an armed watchdog, an IPI-mode poll sweep (the only
+// recovery for a dropped wake-up IPI — the receiver halts and would
+// never re-check its slots otherwise), degradation to poll mode after
+// repeated loss, and a short retransmission timeout so slot-stuck
+// requests retry within the campaign's small workloads.
+//
+//   ./chaos_campaign --plans=20 --seed=42 --cores=4
+//   ./chaos_campaign --faults='ipi_drop=0.2,watchdog=500ms,sweep=2'
+//
+// With --faults the given plan replaces the random matrix (one plan,
+// still run across all workloads and both delivery modes).
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "sim/faults.hpp"
+#include "workloads/histogram.hpp"
+#include "workloads/laplace.hpp"
+#include "workloads/matmul.hpp"
+
+namespace {
+
+using namespace msvm;
+
+enum class Outcome { kCorrect, kCleanHang, kWrong };
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kCorrect: return "correct";
+    case Outcome::kCleanHang: return "clean-hang";
+    case Outcome::kWrong: return "WRONG";
+  }
+  return "?";
+}
+
+bool close_enough(double got, double want) {
+  const double scale = std::max(1.0, std::fabs(want));
+  return std::fabs(got - want) <= 1e-9 * scale;
+}
+
+/// One random plan: injection knobs from {off, rare, common, heavy},
+/// recovery envelope fixed (watchdog + sweep + degrade + fast retry).
+sim::FaultPlan random_plan(sim::Rng& rng, u64 plan_seed) {
+  static constexpr double kProbs[] = {0.0, 0.02, 0.1, 0.3};
+  auto draw = [&rng] { return kProbs[rng.next_below(4)]; };
+  sim::FaultPlan plan;
+  plan.seed = plan_seed;
+  plan.ipi_drop = draw();
+  plan.ipi_delay = draw();
+  plan.mail_delay = draw();
+  plan.mail_dup = draw();
+  plan.stall = draw();
+  plan.spurious = draw();
+  plan.watchdog_ps = 500 * kPsPerMs;
+  plan.sweep_period = 2;
+  plan.degrade_after = 6;
+  plan.retry_ps = 2 * kPsPerMs;
+  return plan;
+}
+
+bool g_print_reports = false;
+
+Outcome guard(const char* what, const std::string& spec,
+              Outcome (*body)(const sim::FaultPlan&, bool, int),
+              const sim::FaultPlan& plan, bool use_ipi, int cores) {
+  try {
+    return body(plan, use_ipi, cores);
+  } catch (const sim::HangError& e) {
+    // The robustness contract: a hang must surface as a typed error
+    // with a non-empty structured report, never a silent wedge.
+    if (e.report().empty()) {
+      std::fprintf(stderr, "%s [%s]: HangError with empty report\n", what,
+                   spec.c_str());
+      return Outcome::kWrong;
+    }
+    if (g_print_reports) {
+      std::printf("  --- %s [%s]: %s ---\n%s", what, spec.c_str(),
+                  e.what(), e.report().c_str());
+    }
+    return Outcome::kCleanHang;
+  }
+}
+
+Outcome laplace_once(const sim::FaultPlan& plan, bool use_ipi, int cores) {
+  workloads::LaplaceParams p;
+  p.ny = 32;
+  p.nx = 64;
+  p.iterations = 3;
+  p.faults = plan;
+  const double want = workloads::laplace_reference_checksum(p);
+  const workloads::LaplaceResult r =
+      workloads::run_laplace_svm(p, svm::Model::kStrong, cores, use_ipi);
+  return close_enough(r.checksum, want) ? Outcome::kCorrect
+                                        : Outcome::kWrong;
+}
+
+Outcome matmul_once(const sim::FaultPlan& plan, bool use_ipi, int cores) {
+  workloads::MatmulParams p;
+  p.n = 20;
+  p.use_ipi = use_ipi;
+  p.faults = plan;
+  const double want = workloads::matmul_reference_checksum(p);
+  const workloads::MatmulResult r =
+      workloads::run_matmul(p, svm::Model::kStrong, cores);
+  return close_enough(r.checksum, want) ? Outcome::kCorrect
+                                        : Outcome::kWrong;
+}
+
+Outcome histogram_once(const sim::FaultPlan& plan, bool use_ipi,
+                       int cores) {
+  workloads::HistogramParams p;
+  p.bins = 64;
+  p.samples_per_core = 512;
+  p.use_ipi = use_ipi;
+  p.faults = plan;
+  const std::vector<u64> want = workloads::histogram_reference(p, cores);
+  const workloads::HistogramResult r =
+      workloads::run_histogram(p, svm::Model::kLazyRelease, cores);
+  return r.bins == want ? Outcome::kCorrect : Outcome::kWrong;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msvm;
+  const u64 seed = bench::arg_seed(argc, argv);
+  const u64 num_plans = bench::arg_u64(argc, argv, "plans", 20);
+  const int cores =
+      static_cast<int>(bench::arg_u64(argc, argv, "cores", 4));
+  const std::string fixed_spec = bench::arg_str(argc, argv, "faults");
+  g_print_reports = bench::arg_flag(argc, argv, "report");
+
+  bench::print_header(
+      "chaos campaign: workloads under deterministic fault injection",
+      "robustness contract: correct data or a typed, reported failure");
+
+  bench::JsonReport json("chaos_campaign", seed);
+  json.config("plans", num_plans);
+  json.config("cores", static_cast<u64>(cores));
+  if (!fixed_spec.empty()) json.config("faults", fixed_spec);
+
+  struct Case {
+    const char* name;
+    Outcome (*body)(const sim::FaultPlan&, bool, int);
+  };
+  static constexpr Case kCases[] = {
+      {"laplace", laplace_once},
+      {"matmul", matmul_once},
+      {"histogram", histogram_once},
+  };
+
+  sim::Rng rng = bench::seeded_rng(seed);
+  u64 correct = 0;
+  u64 clean_hangs = 0;
+  u64 wrong = 0;
+
+  for (u64 i = 0; i < num_plans; ++i) {
+    sim::FaultPlan plan;
+    if (!fixed_spec.empty()) {
+      plan = bench::arg_faults(argc, argv);
+    } else {
+      plan = random_plan(rng, seed * 1000 + i);
+    }
+    const std::string spec = plan.to_spec();
+    std::printf("plan %2llu/%llu: %s\n",
+                static_cast<unsigned long long>(i + 1),
+                static_cast<unsigned long long>(num_plans),
+                spec.empty() ? "(no faults)" : spec.c_str());
+    for (const Case& c : kCases) {
+      for (const bool use_ipi : {true, false}) {
+        const Outcome o = guard(c.name, spec, c.body, plan, use_ipi, cores);
+        std::printf("  %-9s %-4s -> %s\n", c.name,
+                    use_ipi ? "ipi" : "poll", outcome_name(o));
+        switch (o) {
+          case Outcome::kCorrect: ++correct; break;
+          case Outcome::kCleanHang: ++clean_hangs; break;
+          case Outcome::kWrong: ++wrong; break;
+        }
+      }
+    }
+  }
+
+  const u64 total = correct + clean_hangs + wrong;
+  bench::print_row_sep();
+  std::printf("campaign: %llu run(s): %llu correct, %llu clean hang(s), "
+              "%llu WRONG\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(correct),
+              static_cast<unsigned long long>(clean_hangs),
+              static_cast<unsigned long long>(wrong));
+  json.sample("correct", static_cast<double>(correct));
+  json.sample("clean_hangs", static_cast<double>(clean_hangs));
+  json.sample("wrong", static_cast<double>(wrong));
+  if (wrong != 0) {
+    std::fprintf(stderr,
+                 "chaos campaign FAILED: %llu run(s) broke the "
+                 "correct-or-fail-cleanly contract\n",
+                 static_cast<unsigned long long>(wrong));
+    return 1;
+  }
+  std::printf("chaos campaign passed: every run completed correctly or "
+              "failed cleanly\n");
+  return 0;
+}

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+
+#include "svm/svm_runtime.hpp"
 
 namespace msvm::cluster {
 
@@ -31,10 +34,38 @@ Node::Node(scc::Core& core, const std::vector<int>& members, bool use_ipi,
     : core_(core), members_(members) {
   kernel_ = std::make_unique<kernel::Kernel>(core_);
   kernel_->boot();
-  mbox_ = std::make_unique<mbox::MailboxSystem>(*kernel_, use_ipi);
+  // The mailbox resilience knobs ride on the chip's fault plan so one
+  // spec string configures both the faults and the defences.
+  const sim::FaultPlan& plan = core_.chip().faults().plan();
+  mbox::MailboxConfig mcfg;
+  mcfg.use_ipi = use_ipi;
+  mcfg.sweep_period = plan.sweep_period;
+  mcfg.degrade_after = plan.degrade_after;
+  mbox_ = std::make_unique<mbox::MailboxSystem>(*kernel_, mcfg);
   mbox_->set_participants(members_);
   svm_ = std::make_unique<svm::Svm>(*kernel_, *mbox_, domain);
   rcce_ = std::make_unique<rcce::Rcce>(*kernel_, members_);
+
+  sim::Watchdog& watchdog = core_.chip().watchdog();
+  if (watchdog.enabled()) {
+    // On a hang, contribute this core's SVM/protocol state and mailbox
+    // tallies to the structured report (the closure outlives run():
+    // nodes are owned by the Cluster, which outlives the chip run).
+    watchdog.add_provider([this](std::string& out) {
+      svm_->runtime().append_hang_report(out);
+      const mbox::MailboxStats& ms = mbox_->stats();
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "core %d mbox: sent=%llu received=%llu inbox=%s "
+                    "sweep_recoveries=%llu degraded=%d\n",
+                    core_.id(), static_cast<unsigned long long>(ms.sent),
+                    static_cast<unsigned long long>(ms.received),
+                    mbox_->degraded() ? "poll-fallback" : "normal",
+                    static_cast<unsigned long long>(ms.sweep_recoveries),
+                    mbox_->degraded() ? 1 : 0);
+      out += buf;
+    });
+  }
 }
 
 Cluster::Cluster(ClusterConfig cfg)
@@ -71,7 +102,21 @@ void Cluster::run(Body body) {
           return;
         }
         Node& node = *slot;
+        sim::BlockScope scope(chip_.scheduler().current(), "cluster.idle",
+                              static_cast<u64>(core.id()));
+        std::size_t last_done = done_count_;
+        TimePs since = core.now();
         while (done_count_ < members_.size()) {
+          if (done_count_ != last_done) {
+            // Progress elsewhere resets the idler's hang clock: idling
+            // is only a hang when no member finishes for a whole limit.
+            last_done = done_count_;
+            since = core.now();
+          }
+          if (chip_.watchdog().check(core.now(), since, "cluster.idle",
+                                     core.id())) {
+            chip_.scheduler().block();  // parked until teardown
+          }
           if (cfg_.use_ipi) {
             node.kernel().idle_once();
           } else {

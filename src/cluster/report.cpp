@@ -76,6 +76,8 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
       svm_total.migrations += s.migrations;
       svm_total.barriers += s.barriers;
       svm_total.lock_acquires += s.lock_acquires;
+      svm_total.retransmits += s.retransmits;
+      svm_total.dup_acks_dropped += s.dup_acks_dropped;
     }
     scc::CoreCounters fault_total;
     for (const int c : cluster.members()) {
@@ -109,6 +111,12 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
             static_cast<unsigned long long>(svm_total.replica_installs),
             static_cast<unsigned long long>(svm_total.replica_grants),
             ps_to_ms(fault_total.svm_fault_stall_ps));
+    if (svm_total.retransmits != 0 || svm_total.dup_acks_dropped != 0) {
+      appendf(out, "svm-resilience: retransmits %llu, dup-acks dropped "
+                   "%llu\n",
+              static_cast<unsigned long long>(svm_total.retransmits),
+              static_cast<unsigned long long>(svm_total.dup_acks_dropped));
+    }
   }
 
   if (options.svm_trace) {
@@ -125,16 +133,33 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
     u64 sent = 0;
     u64 received = 0;
     u64 checks = 0;
+    u64 send_stalls = 0;
+    u64 sweep_recoveries = 0;
+    u64 degradations = 0;
+    TimePs send_stall_ps = 0;
+    TimePs recv_wait_ps = 0;
     for (const int c : cluster.members()) {
       const mbox::MailboxStats& m = cluster.node(c).mbox().stats();
       sent += m.sent;
       received += m.received;
       checks += m.slot_checks;
+      send_stalls += m.send_stalls;
+      send_stall_ps += m.send_stall_ps;
+      recv_wait_ps += m.recv_wait_ps;
+      sweep_recoveries += m.sweep_recoveries;
+      degradations += m.degradations;
     }
     appendf(out, "mailbox: sent %llu, received %llu, slot checks %llu\n",
             static_cast<unsigned long long>(sent),
             static_cast<unsigned long long>(received),
             static_cast<unsigned long long>(checks));
+    appendf(out,
+            "mailbox-stall: send stalls %llu (%.3f ms), recv wait "
+            "%.3f ms, sweep recoveries %llu, degraded %llu\n",
+            static_cast<unsigned long long>(send_stalls),
+            ps_to_ms(send_stall_ps), ps_to_ms(recv_wait_ps),
+            static_cast<unsigned long long>(sweep_recoveries),
+            static_cast<unsigned long long>(degradations));
   }
   return out;
 }

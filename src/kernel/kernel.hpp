@@ -19,6 +19,49 @@
 
 namespace msvm::kernel {
 
+/// Tuning for spin_wait below. The defaults reproduce the historical
+/// exponential backoff used by every TAS spin loop in the tree (start at
+/// 16 core cycles, double to a 4096-cycle cap).
+struct SpinWaitOpts {
+  u64 start_cycles = 16;
+  u64 cap_cycles = 4096;
+  const char* site = "kernel.spin";  // wait-site label for hang reports
+  u64 site_arg = 0;                  // e.g. the contended register/page
+  u64 warn_every = 0;                // invoke on_stuck every N failures
+  std::function<void(u64 spins)> on_stuck;
+};
+
+/// The one exponential-backoff spin loop: try, back off (cooperatively
+/// relaxing so the holder can run), double up to the cap. Replaces the
+/// four hand-rolled copies that used to live in TasSpinlock::lock, the
+/// SVM scratchpad/transfer-lock paths, and svm lock_acquire. The loop is
+/// annotated as a wait site and checks the chip watchdog, so a spin that
+/// never succeeds becomes a structured hang report instead of a silent
+/// livelock; both checks are host-side only and the backoff sequence is
+/// bit-identical to the historical loops.
+template <typename TryAcquire>
+void spin_wait(scc::Core& core, TryAcquire&& try_acquire,
+               const SpinWaitOpts& opts = {}) {
+  scc::Chip& chip = core.chip();
+  sim::BlockScope scope(chip.scheduler().current(), opts.site,
+                        opts.site_arg, static_cast<u64>(core.id()));
+  const TimePs t0 = core.now();
+  u64 spins = 0;
+  u64 backoff_cycles = opts.start_cycles;
+  while (!try_acquire()) {
+    ++spins;
+    if (opts.warn_every != 0 && spins % opts.warn_every == 0 &&
+        opts.on_stuck) {
+      opts.on_stuck(spins);
+    }
+    if (chip.watchdog().check(core.now(), t0, opts.site, core.id())) {
+      chip.scheduler().block();  // parked; teardown unwinds via cancel
+    }
+    core.relax(backoff_cycles * chip.config().core_cycle_ps());
+    backoff_cycles = std::min<u64>(backoff_cycles * 2, opts.cap_cycles);
+  }
+}
+
 class Kernel {
  public:
   explicit Kernel(scc::Core& core);
@@ -91,11 +134,10 @@ class TasSpinlock {
   /// keeps a contended register from hammering the mesh (and keeps the
   /// simulation host-efficient under heavy contention).
   void lock(scc::Core& core) {
-    u64 backoff_cycles = 16;
-    while (!core.tas_try_acquire(reg_)) {
-      core.relax(backoff_cycles * core.chip().config().core_cycle_ps());
-      backoff_cycles = std::min<u64>(backoff_cycles * 2, 4096);
-    }
+    SpinWaitOpts opts;
+    opts.site = "tas.lock";
+    opts.site_arg = static_cast<u64>(reg_);
+    spin_wait(core, [&] { return core.tas_try_acquire(reg_); }, opts);
   }
 
   void unlock(scc::Core& core) { core.tas_release(reg_); }

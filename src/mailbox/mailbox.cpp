@@ -29,11 +29,14 @@ constexpr u64 kMailSoftwareCycles = 60;
 
 }  // namespace
 
-MailboxSystem::MailboxSystem(kernel::Kernel& kernel, bool use_ipi)
+MailboxSystem::MailboxSystem(kernel::Kernel& kernel,
+                             const MailboxConfig& cfg)
     : kernel_(kernel),
       core_(kernel.core()),
-      use_ipi_(use_ipi),
-      handlers_(256) {
+      use_ipi_(cfg.use_ipi),
+      cfg_(cfg),
+      handlers_(256),
+      sweep_countdown_(cfg.sweep_period) {
   const int n = core_.chip().num_cores();
   participants_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) participants_.push_back(i);
@@ -46,10 +49,40 @@ MailboxSystem::MailboxSystem(kernel::Kernel& kernel, bool use_ipi)
         if (source_mask & 1) poll_from(src);
       }
     });
+    if (cfg_.sweep_period > 0) {
+      // Low-rate safety net against lost interrupts: every Nth timer
+      // tick, scan all slots anyway. Off by default — a sweep costs
+      // slot-check cycles even when every IPI arrives.
+      kernel_.add_timer_handler([this] { sweep_tick(); });
+    }
   } else {
     // Poll path: scan everything on every timer interrupt; idle and wait
     // loops scan explicitly.
     kernel_.add_timer_handler([this] { poll_all(); });
+  }
+}
+
+void MailboxSystem::sweep_tick() {
+  if (!degraded_) {
+    if (--sweep_countdown_ != 0) return;
+    sweep_countdown_ = cfg_.sweep_period;
+  }
+  const int seen = poll_all();
+  if (seen <= 0 || degraded_) return;
+  // Every mail found here is one whose IPI never got us to check the
+  // slot — interrupt loss evidence.
+  stats_.sweep_recoveries += static_cast<u64>(seen);
+  MSVM_LOG_INFO("core %d: poll sweep recovered %d mail(s) missed by IPI",
+                core_.id(), seen);
+  if (cfg_.degrade_after > 0 &&
+      stats_.sweep_recoveries >= cfg_.degrade_after) {
+    degraded_ = true;
+    ++stats_.degradations;
+    MSVM_LOG_ERROR(
+        "core %d: %llu mails missed by IPI delivery; degrading mailbox "
+        "to poll-every-tick mode",
+        core_.id(),
+        static_cast<unsigned long long>(stats_.sweep_recoveries));
   }
 }
 
@@ -100,6 +133,10 @@ bool MailboxSystem::try_send(int dest, const Mail& mail) {
 
 void MailboxSystem::send(int dest, const Mail& mail) {
   const u64 slot = slot_paddr(dest, core_.id());
+  sim::BlockScope scope(core_.chip().scheduler().current(), "mbox.send",
+                        static_cast<u64>(dest), mail.type);
+  TimePs stall_t0 = 0;  // clock at the first full-slot observation
+  u64 stall_spins = 0;
   // Wait for the destination slot to drain. Keep consuming our own
   // incoming traffic meanwhile: the peer may be blocked sending to *us*.
   for (;;) {
@@ -110,10 +147,16 @@ void MailboxSystem::send(int dest, const Mail& mail) {
     if (flag == 0) {
       deposit(slot, mail, dest);
       core_.irq_enable();
+      if (stall_t0 != 0) stats_.send_stall_ps += core_.now() - stall_t0;
       return;
     }
     core_.irq_enable();
     ++stats_.send_stalls;
+    if (stall_t0 == 0) stall_t0 = core_.now();
+    if (core_.chip().watchdog().check(core_.now(), stall_t0, "mbox.send",
+                                      core_.id())) {
+      core_.chip().scheduler().block();  // parked until teardown
+    }
     if (!use_ipi_) {
       poll_all();
     } else if (core_.in_interrupt() || core_.irqs_masked()) {
@@ -126,6 +169,14 @@ void MailboxSystem::send(int dest, const Mail& mail) {
         for (int src = 0; mask != 0; ++src, mask >>= 1) {
           if (mask & 1) poll_from(src);
         }
+      } else if (cfg_.sweep_period > 0 && ++stall_spins % 16 == 0) {
+        // A deposit whose IPI was lost is invisible to the GIC drain,
+        // and the timer-driven sweep cannot nest into handler context:
+        // two handlers stalled sending ACKs to each other, both wake
+        // IPIs dropped, would deadlock. When the sweep is configured
+        // (the same recovery knob — off on clean runs), scan all slots
+        // at a low rate from the stall loop itself.
+        poll_all();
       }
     }
     // In IPI mode (outside handlers) incoming mail is consumed by the
@@ -183,6 +234,14 @@ bool MailboxSystem::check_slot(int sender) {
     core_.irq_enable();
     return false;
   }
+  if (core_.chip().faults().enabled() &&
+      core_.chip().faults().delay_flag()) {
+    // Injected visibility delay: the flag byte is set but this check
+    // pretends it is not — the mail stays deposited and a later check
+    // (poll, sweep, or retransmission-triggered) will see it.
+    core_.irq_enable();
+    return false;
+  }
 
   Mail mail;
   u8 line[kMailBytes];
@@ -202,22 +261,48 @@ bool MailboxSystem::check_slot(int sender) {
   ++stats_.received;
   core_.compute_cycles(kMailSoftwareCycles);
   dispatch(mail);
+  if (core_.chip().faults().enabled() &&
+      core_.chip().faults().duplicate_mail()) {
+    // Injected duplicate delivery: the same consumed mail is handed to
+    // dispatch a second time, probing the receiver-side dedup.
+    dispatch(mail);
+  }
   return true;
 }
 
 void MailboxSystem::dispatch(Mail mail) {
-  if (handlers_[mail.type]) {
-    // Handlers may send replies, which may stall and drain more traffic;
-    // the guard catches runaway protocol recursion.
-    assert(dispatch_depth_ < 16 && "mailbox handler recursion");
-    ++dispatch_depth_;
-    ++stats_.handler_dispatch;
-    handlers_[mail.type](mail);
-    --dispatch_depth_;
+  if (!handlers_[mail.type]) {
+    ++stats_.inbox_enqueued;
+    inbox_.push_back(mail);
     return;
   }
-  ++stats_.inbox_enqueued;
-  inbox_.push_back(mail);
+  // Handlers may send replies, which may stall and drain more traffic,
+  // dispatching nested mails. Under retransmission storms that mutual
+  // recursion is unbounded (every retransmitted request served from
+  // within the previous serve adds a stack level until the fiber's guard
+  // page faults), so past a fixed depth the handler run is deferred: the
+  // mail was already consumed (its slot flag cleared — that is what
+  // unblocks the sender), only the handler body waits for the outermost
+  // dispatcher to drain the queue iteratively. Clean runs never nest
+  // anywhere near the cap, so the fast path is byte-for-byte the
+  // historical recursive dispatch.
+  if (dispatch_depth_ >= kMaxDispatchDepth) {
+    ++stats_.dispatches_deferred;
+    deferred_.push_back(mail);
+    return;
+  }
+  ++dispatch_depth_;
+  ++stats_.handler_dispatch;
+  handlers_[mail.type](mail);
+  --dispatch_depth_;
+  while (dispatch_depth_ == 0 && !deferred_.empty()) {
+    const Mail m = deferred_.front();
+    deferred_.pop_front();
+    ++dispatch_depth_;
+    ++stats_.handler_dispatch;
+    handlers_[m.type](m);
+    --dispatch_depth_;
+  }
 }
 
 std::optional<Mail> MailboxSystem::try_take(const Predicate& pred) {
@@ -231,14 +316,35 @@ std::optional<Mail> MailboxSystem::try_take(const Predicate& pred) {
   return std::nullopt;
 }
 
-Mail MailboxSystem::recv_match(const Predicate& pred) {
+void MailboxSystem::enqueue_inbox(const Mail& mail) {
+  ++stats_.inbox_enqueued;
+  inbox_.push_back(mail);
+}
+
+std::optional<Mail> MailboxSystem::recv_loop(const Predicate& pred,
+                                             TimePs deadline) {
+  sim::BlockScope scope(core_.chip().scheduler().current(), "mbox.recv");
+  const TimePs t0 = core_.now();
   u64 rounds = 0;
   for (;;) {
-    if (auto m = try_take(pred)) return *m;
+    if (auto m = try_take(pred)) {
+      stats_.recv_wait_ps += core_.now() - t0;
+      return m;
+    }
+    if (core_.now() >= deadline) {
+      // Host-side bound only: a wait that succeeds before the deadline
+      // never observes it and is cycle-identical to the unbounded wait.
+      stats_.recv_wait_ps += core_.now() - t0;
+      return std::nullopt;
+    }
     if (++rounds % 5000 == 0) {
       MSVM_LOG_ERROR("core %d: recv_match starving (round %llu, inbox=%zu)",
                      core_.id(), static_cast<unsigned long long>(rounds),
                      inbox_.size());
+    }
+    if (core_.chip().watchdog().check(core_.now(), t0, "mbox.recv",
+                                      core_.id())) {
+      core_.chip().scheduler().block();  // parked until teardown
     }
     if (use_ipi_) {
       // Sleep until an interrupt (the IPI handler fills the inbox).
@@ -256,6 +362,15 @@ Mail MailboxSystem::recv_match(const Predicate& pred) {
       core_.relax(pause * core_.chip().config().core_cycle_ps());
     }
   }
+}
+
+Mail MailboxSystem::recv_match(const Predicate& pred) {
+  return *recv_loop(pred, kTimeNever);
+}
+
+std::optional<Mail> MailboxSystem::recv_match_until(const Predicate& pred,
+                                                    TimePs deadline) {
+  return recv_loop(pred, deadline);
 }
 
 }  // namespace msvm::mbox

@@ -51,13 +51,35 @@ struct MailboxStats {
   u64 handler_dispatch = 0;
   u64 inbox_enqueued = 0;
   u64 multicasts = 0;       // multicast() calls (fan-out counted in sent)
+  TimePs send_stall_ps = 0; // virtual time spent stalled in send()
+  TimePs recv_wait_ps = 0;  // virtual time spent blocked in recv_match*
+  u64 sweep_recoveries = 0; // mails found by the IPI-mode poll sweep
+  u64 degradations = 0;     // 1 once the mailbox fell back to poll mode
+  u64 dispatches_deferred = 0;  // handler runs queued past the depth cap
+};
+
+/// Delivery-mode + resilience knobs for one MailboxSystem. The sweep
+/// fields only matter in IPI mode and default to off (bit-identical):
+/// a missed IPI then wedges the receiver exactly like the real part.
+struct MailboxConfig {
+  bool use_ipi = false;
+  /// Poll-sweep period in timer ticks: every N-th timer interrupt the
+  /// receiver scans all participating slots even in IPI mode, catching
+  /// mails whose interrupt was lost. 0 disables the sweep.
+  u32 sweep_period = 0;
+  /// After this many sweep-recovered mails the mailbox stops trusting
+  /// IPIs and degrades to polling on every timer tick. 0 disables.
+  u32 degrade_after = 0;
 };
 
 class MailboxSystem {
  public:
   /// `use_ipi` selects the delivery mode (see file comment). The mailbox
   /// registers itself with the kernel's interrupt fabric at construction.
-  MailboxSystem(kernel::Kernel& kernel, bool use_ipi);
+  MailboxSystem(kernel::Kernel& kernel, bool use_ipi)
+      : MailboxSystem(kernel, MailboxConfig{use_ipi, 0, 0}) {}
+
+  MailboxSystem(kernel::Kernel& kernel, const MailboxConfig& cfg);
 
   MailboxSystem(const MailboxSystem&) = delete;
   MailboxSystem& operator=(const MailboxSystem&) = delete;
@@ -107,6 +129,14 @@ class MailboxSystem {
   using Predicate = std::function<bool(const Mail&)>;
   Mail recv_match(const Predicate& pred);
 
+  /// Like recv_match but gives up (returns nullopt) once the core's
+  /// virtual clock reaches `deadline`. The deadline check is host-side
+  /// only: a wait that succeeds before the deadline is cycle-identical
+  /// to recv_match. This is the primitive under the SVM layer's bounded
+  /// protocol waits and retransmission.
+  std::optional<Mail> recv_match_until(const Predicate& pred,
+                                       TimePs deadline);
+
   /// Convenience: waits for the next mail of `type`.
   Mail recv_type(u8 type) {
     return recv_match([type](const Mail& m) { return m.type == type; });
@@ -114,6 +144,16 @@ class MailboxSystem {
 
   /// Non-blocking inbox take.
   std::optional<Mail> try_take(const Predicate& pred);
+
+  /// Queues a mail into the software inbox as if it had arrived without
+  /// a registered handler. Used by handlers that filter traffic (e.g.
+  /// the SVM ack dedup) and then hand the survivors to waiting
+  /// recv_match callers.
+  void enqueue_inbox(const Mail& mail);
+
+  /// True once the IPI-mode mailbox has degraded to poll-every-tick
+  /// after repeated interrupt loss (see MailboxConfig::degrade_after).
+  bool degraded() const { return degraded_; }
 
   const MailboxStats& stats() const { return stats_; }
 
@@ -129,15 +169,29 @@ class MailboxSystem {
 
   void dispatch(Mail mail);
 
+  /// Shared wait loop of recv_match / recv_match_until; `deadline` is
+  /// kTimeNever for an unbounded wait.
+  std::optional<Mail> recv_loop(const Predicate& pred, TimePs deadline);
+
+  /// Timer callback in IPI mode when the sweep is configured.
+  void sweep_tick();
+
   kernel::Kernel& kernel_;
   scc::Core& core_;
   bool use_ipi_;
+  MailboxConfig cfg_;
   std::vector<int> participants_;
   std::vector<Handler> handlers_;  // indexed by type
   std::deque<Mail> inbox_;
+  /// Handler runs deferred past kMaxDispatchDepth, drained iteratively
+  /// by the outermost dispatch (see MailboxSystem::dispatch).
+  std::deque<Mail> deferred_;
   MailboxStats stats_;
+  static constexpr int kMaxDispatchDepth = 16;
   int dispatch_depth_ = 0;
   u32 poll_jitter_ = 0x12345u;
+  u32 sweep_countdown_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace msvm::mbox

@@ -10,6 +10,8 @@ Chip::Chip(ChipConfig cfg)
       memory_(cfg_),
       latency_(cfg_),
       gic_(cfg_.num_cores),
+      faults_(cfg_.faults),
+      watchdog_(sched_, cfg_.faults.watchdog_ps),
       mc_busy_until_(Mesh::kNumMemControllers, 0) {
   assert(cfg_.num_cores >= 1 && cfg_.num_cores <= Mesh::kMaxCores);
   assert(cfg_.line_bytes <= 64);
@@ -40,7 +42,35 @@ void Chip::spawn_program(int core_id, std::function<void(Core&)> fn) {
   c.bind_actor(&actor);
 }
 
-void Chip::run() { sched_.run(); }
+void Chip::run() {
+  try {
+    sched_.run();
+  } catch (const sim::DeadlockError& e) {
+    // Unwind the blocked fibers NOW, while the caller's kernels,
+    // mailboxes and SVM runtimes — which the parked stack frames
+    // reference — are all still alive. Leaving the unwind to
+    // ~Scheduler would run those frames' destructors against
+    // already-destroyed objects (the chip typically outlives them in
+    // declaration order).
+    sched_.cancel_all();
+    if (!watchdog_.enabled()) throw;
+    // With the watchdog armed every failure is typed: even a hard
+    // deadlock (all actors blocked before any wait-loop check fired)
+    // surfaces as a HangError carrying the actor enumeration.
+    throw sim::HangError("simulated hang (deadlock with watchdog armed)",
+                         std::string(e.what()) + "\n");
+  }
+  if (watchdog_.tripped()) {
+    // The tripping actor recorded the report, requested a stop, and
+    // parked itself; the scheduler returned early. Unwind every parked
+    // fiber while the objects their frames reference are still alive
+    // (see above), then surface the report here, from the main context,
+    // where the exception can safely propagate.
+    sched_.cancel_all();
+    throw sim::HangError("simulated hang detected by watchdog",
+                         watchdog_.report());
+  }
+}
 
 TimePs Chip::mc_queue_delay(int mc, TimePs t) {
   if (!cfg_.mc_contention) return 0;

@@ -15,6 +15,7 @@
 #include "sccsim/latency.hpp"
 #include "sccsim/memory.hpp"
 #include "sccsim/mesh.hpp"
+#include "sim/faults.hpp"
 #include "sim/scheduler.hpp"
 
 namespace msvm::scc {
@@ -32,6 +33,8 @@ class Chip {
   const LatencyModel& latency() const { return latency_; }
   Gic& gic() { return gic_; }
   sim::Scheduler& scheduler() { return sched_; }
+  sim::FaultInjector& faults() { return faults_; }
+  sim::Watchdog& watchdog() { return watchdog_; }
 
   int num_cores() const { return cfg_.num_cores; }
   Core& core(int i) { return *cores_.at(static_cast<std::size_t>(i)); }
@@ -40,7 +43,10 @@ class Chip {
   /// every participating core before run().
   void spawn_program(int core_id, std::function<void(Core&)> fn);
 
-  /// Runs the simulation until every spawned program finishes.
+  /// Runs the simulation until every spawned program finishes. Throws
+  /// sim::HangError (carrying the structured hang report) when the
+  /// watchdog trips; with the watchdog armed, a scheduler deadlock is
+  /// converted into a HangError too, so chaos runs always fail typed.
   void run();
 
   /// Extra queueing delay at memory controller `mc` for a transaction
@@ -59,6 +65,8 @@ class Chip {
   LatencyModel latency_;
   Gic gic_;
   sim::Scheduler sched_;
+  sim::FaultInjector faults_;
+  sim::Watchdog watchdog_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<TimePs> mc_busy_until_;
   TimePs makespan_ = 0;

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "sim/faults.hpp"
 #include "sim/types.hpp"
 
 namespace msvm::scc {
@@ -70,6 +71,9 @@ struct ChipConfig {
   // ---- optional memory-controller contention (queueing) model ----
   bool mc_contention = false;
   u32 mc_service_mesh_cycles = 8;  // bus occupancy per 32-byte transaction
+
+  // ---- chaos layer (default: no faults, no watchdog; bit-identical) ----
+  sim::FaultPlan faults;
 
   // ---- derived helpers ----
   TimePs core_cycle_ps() const { return cycle_ps_from_mhz(core_mhz); }

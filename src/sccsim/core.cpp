@@ -52,6 +52,15 @@ void Core::tick(TimePs cost) {
 }
 
 void Core::boundary() {
+  if (chip_.faults().enabled()) {
+    // Bounded virtual-time stall: the core simply loses time, as if the
+    // hardware thread was starved. Delivered work resumes afterwards.
+    const TimePs stall = chip_.faults().stall_ps();
+    if (stall > 0) {
+      actor_->advance(stall);
+      counters_.busy_ps += stall;
+    }
+  }
   next_boundary_ = actor_->clock() + boundary_interval_ps_;
   if (in_irq_) {
     // Handlers run with interrupts masked; re-delivery happens when the
@@ -123,7 +132,14 @@ void Core::halt() {
   // Sleep until the next timer tick unless an IPI arrives first. The GIC
   // wake goes through Chip, which calls scheduler().wake on our actor.
   if (!chip_.gic().has_pending(id_)) {
-    chip_.scheduler().block_until(next_timer_);
+    TimePs deadline = next_timer_;
+    if (chip_.faults().enabled() && deadline > actor_->clock()) {
+      // Spurious wakeup: resume early for no reason. Callers of halt()
+      // already re-check their wake condition in a loop, so this only
+      // probes that the loops really are condition-driven.
+      deadline -= chip_.faults().spurious_wake_ps(deadline - actor_->clock());
+    }
+    chip_.scheduler().block_until(deadline);
   }
   if (!in_irq_) deliver_interrupts();
 }
@@ -457,6 +473,15 @@ void Core::raise_ipi(int target) {
   const int hops = Mesh::hops_core_to_system_if(id_);
   tick(chip_.latency().gic_access(hops));
   ++counters_.ipis_sent;
+  sim::FaultInjector& faults = chip_.faults();
+  if (faults.enabled()) {
+    if (faults.drop_ipi()) return;  // lost on the wire: no pending bit
+    const TimePs extra = faults.ipi_extra_delay_ps();
+    if (extra > 0) {
+      chip_.gic().raise_delayed(target, id_, actor_->clock(), extra);
+      return;
+    }
+  }
   chip_.gic().raise(target, id_, actor_->clock());
 }
 

@@ -39,6 +39,17 @@ class Gic {
     if (wake_fn) wake_fn(target, at);
   }
 
+  /// Like raise(), but the target's wake-up is deferred by `extra` on
+  /// top of the normal wire delay. Used by the fault injector to model a
+  /// slow interrupt: the pending bit is set immediately (the GIC write
+  /// happened), only the delivery to the halted core lags.
+  void raise_delayed(int target, int source, TimePs at, TimePs extra) {
+    assert(target >= 0 &&
+           static_cast<std::size_t>(target) < pending_.size());
+    pending_[static_cast<std::size_t>(target)] |= u64{1} << source;
+    if (wake_fn) wake_fn(target, at + extra);
+  }
+
   bool has_pending(int core) const {
     return pending_[static_cast<std::size_t>(core)] != 0;
   }

@@ -1,0 +1,242 @@
+// Seeded, deterministic fault injection and the virtual-time watchdog.
+//
+// A FaultPlan is a small parsed record of *what* to break and *how* to
+// recover: probabilities for dropping/delaying IPIs, delaying/duplicating
+// mailbox flag visibility, stalling cores, and spurious wakeups — plus
+// the recovery knobs (watchdog limit, IPI-mode poll-sweep period,
+// degradation threshold, retransmission base timeout). Everything is
+// default-off: a default-constructed plan injects nothing, enables no
+// sweep, and arms no watchdog, so the simulation is bit-identical to a
+// build without this subsystem.
+//
+// The FaultInjector owns the plan plus a private xoshiro256** stream
+// seeded from plan.seed. Because the simulator is single-threaded and
+// deterministic, the sequence of injector queries is itself
+// deterministic, so a (seed, plan) pair replays the exact same fault
+// schedule every run.
+//
+// Spec grammar (CLI `--faults=` / env `MSVM_FAULTS`), comma- or
+// whitespace-separated `key=value` tokens:
+//
+//   seed=N            RNG seed for the fault stream (default 1)
+//   ipi_drop=P        drop each raised IPI with probability P
+//   ipi_delay=P:DUR   delay each IPI by uniform(0,DUR] with prob. P
+//   mail_delay=P      hide a set mailbox flag for one check with prob. P
+//   mail_dup=P        deliver a received mail twice with probability P
+//   stall=P:DUR       stall a core uniform(0,DUR] at a tick boundary
+//   spurious=P        wake a halted core early with probability P
+//   watchdog=DUR      per-core hang limit (0 = disabled)
+//   sweep=N           IPI mode: poll-sweep every N timer ticks (0 = off)
+//   degrade=N         drop to poll mode after N sweep recoveries (0 = off)
+//   retry=DUR         base protocol retransmission timeout (0 = default)
+//
+// DUR is an integer or decimal with a mandatory ns/us/ms/s suffix,
+// e.g. `watchdog=500ms,ipi_drop=0.2,ipi_delay=0.1:200us`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::sim {
+
+/// Thrown by FaultPlan::parse on a malformed spec string.
+class FaultSpecError : public std::runtime_error {
+ public:
+  explicit FaultSpecError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct FaultPlan {
+  u64 seed = 1;
+
+  // Injection probabilities (all default 0: no faults).
+  double ipi_drop = 0.0;
+  double ipi_delay = 0.0;
+  TimePs ipi_delay_max_ps = 200 * kPsPerUs;
+  double mail_delay = 0.0;
+  double mail_dup = 0.0;
+  double stall = 0.0;
+  TimePs stall_max_ps = 50 * kPsPerUs;
+  double spurious = 0.0;
+
+  // Recovery / hardening knobs (all default off).
+  TimePs watchdog_ps = 0;   // per-core hang limit; 0 disables the watchdog
+  u32 sweep_period = 0;     // IPI mode: poll sweep every N timer ticks
+  u32 degrade_after = 0;    // degrade to poll mode after N sweep recoveries
+  TimePs retry_ps = 0;      // protocol retransmission base timeout override
+
+  /// True when any injection probability is non-zero. Recovery knobs do
+  /// not count: an armed watchdog with no faults must stay bit-identical.
+  bool any_faults() const {
+    return ipi_drop > 0 || ipi_delay > 0 || mail_delay > 0 || mail_dup > 0 ||
+           stall > 0 || spurious > 0;
+  }
+
+  /// Parses the spec grammar above. Throws FaultSpecError with the
+  /// offending token on any malformed input. An empty spec is the
+  /// default plan.
+  static FaultPlan parse(const std::string& spec);
+
+  /// parse() of the MSVM_FAULTS environment variable (default plan when
+  /// unset or empty).
+  static FaultPlan from_env();
+
+  /// Canonical spec string for this plan (parse(to_spec()) round-trips).
+  /// Empty for the default plan.
+  std::string to_spec() const;
+};
+
+/// Host-side tally of what was actually injected during a run.
+struct FaultStats {
+  u64 ipis_dropped = 0;
+  u64 ipis_delayed = 0;
+  TimePs ipi_delay_ps = 0;
+  u64 flags_delayed = 0;
+  u64 mails_duplicated = 0;
+  u64 stalls = 0;
+  TimePs stall_ps = 0;
+  u64 spurious_wakes = 0;
+};
+
+/// The per-chip fault oracle. Hook points (gic raise, mailbox flag
+/// check, core tick boundary, halt) call the query methods below; each
+/// consumes RNG draws only when the corresponding probability is
+/// non-zero, so a fault-free plan makes every query a branch on a
+/// constant and perturbs nothing.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed), enabled_(plan.any_faults()) {}
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Cheap global gate: false for a fault-free plan, letting hook sites
+  /// skip all queries with one predictable branch.
+  bool enabled() const { return enabled_; }
+
+  /// Should this raised IPI be dropped on the wire?
+  bool drop_ipi() {
+    if (plan_.ipi_drop <= 0 || !rng_.next_bool(plan_.ipi_drop)) return false;
+    ++stats_.ipis_dropped;
+    return true;
+  }
+
+  /// Extra wire delay for this IPI (0 = deliver normally).
+  TimePs ipi_extra_delay_ps() {
+    if (plan_.ipi_delay <= 0 || !rng_.next_bool(plan_.ipi_delay)) return 0;
+    const TimePs d = 1 + static_cast<TimePs>(rng_.next_below(
+                             static_cast<u64>(plan_.ipi_delay_max_ps)));
+    ++stats_.ipis_delayed;
+    stats_.ipi_delay_ps += d;
+    return d;
+  }
+
+  /// Should this set mailbox flag be reported as clear for one check?
+  bool delay_flag() {
+    if (plan_.mail_delay <= 0 || !rng_.next_bool(plan_.mail_delay)) {
+      return false;
+    }
+    ++stats_.flags_delayed;
+    return true;
+  }
+
+  /// Should this received mail be dispatched twice?
+  bool duplicate_mail() {
+    if (plan_.mail_dup <= 0 || !rng_.next_bool(plan_.mail_dup)) return false;
+    ++stats_.mails_duplicated;
+    return true;
+  }
+
+  /// Bounded virtual-time stall to impose at a tick boundary (0 = none).
+  TimePs stall_ps() {
+    if (plan_.stall <= 0 || !rng_.next_bool(plan_.stall)) return 0;
+    const TimePs d = 1 + static_cast<TimePs>(rng_.next_below(
+                             static_cast<u64>(plan_.stall_max_ps)));
+    ++stats_.stalls;
+    stats_.stall_ps += d;
+    return d;
+  }
+
+  /// Early-wake offset for a halted core: 0 = sleep normally, else wake
+  /// uniform(0,max_gap) early. `max_gap` is the time until the real wake
+  /// event, so the spurious wake never sleeps *longer* than intended.
+  TimePs spurious_wake_ps(TimePs max_gap) {
+    if (plan_.spurious <= 0 || max_gap <= 0 ||
+        !rng_.next_bool(plan_.spurious)) {
+      return 0;
+    }
+    ++stats_.spurious_wakes;
+    return 1 + static_cast<TimePs>(
+                   rng_.next_below(static_cast<u64>(max_gap)));
+  }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  bool enabled_;
+  FaultStats stats_;
+};
+
+/// Thrown by Chip::run when the watchdog trips: carries the structured
+/// hang report so the failure is a typed error, never a silent hang or a
+/// bare deadlock abort.
+class HangError : public std::runtime_error {
+ public:
+  HangError(const std::string& what, std::string report)
+      : std::runtime_error(what), report_(std::move(report)) {}
+  const std::string& report() const { return report_; }
+
+ private:
+  std::string report_;
+};
+
+/// Per-core virtual-time watchdog. Wait loops call check() with the
+/// virtual time the wait started; when now-since exceeds the limit the
+/// watchdog builds a structured hang report (blocked actors + their
+/// wait sites, then every registered provider's section — SVM owner
+/// words, trace rings, mailbox stats), asks the scheduler to stop, and
+/// returns true. The tripping actor must then park itself (block());
+/// teardown unwinds everyone, and Chip::run rethrows as HangError.
+///
+/// All checks are host-side only: an armed watchdog that never trips
+/// costs zero simulated time and changes no outputs.
+class Watchdog {
+ public:
+  Watchdog(Scheduler& sched, TimePs limit_ps)
+      : sched_(sched), limit_(limit_ps) {}
+
+  bool enabled() const { return limit_ > 0; }
+  TimePs limit_ps() const { return limit_; }
+
+  /// Registers a diagnostics section appended to the hang report (e.g.
+  /// the SVM runtime dumps owner vectors and its protocol TraceRing).
+  void add_provider(std::function<void(std::string&)> fn) {
+    providers_.push_back(std::move(fn));
+  }
+
+  /// Returns true when the wait that began at `since` has exceeded the
+  /// hang limit; records the report and requests a scheduler stop.
+  /// `site`/`core_id` name the wait that noticed the hang first.
+  bool check(TimePs now, TimePs since, const char* site, int core_id);
+
+  bool tripped() const { return tripped_; }
+  const std::string& report() const { return report_; }
+
+ private:
+  Scheduler& sched_;
+  TimePs limit_;
+  bool tripped_ = false;
+  std::string report_;
+  std::vector<std::function<void(std::string&)>> providers_;
+};
+
+}  // namespace msvm::sim

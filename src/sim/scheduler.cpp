@@ -21,12 +21,31 @@ Actor::Actor(Scheduler& sched, int id, std::string name,
       stack_bytes);
 }
 
-Scheduler::~Scheduler() {
+std::string Actor::describe_sites() const {
+  std::ostringstream oss;
+  // Innermost site first: it names the immediate wait, the outer entries
+  // give the enclosing operation (e.g. "mbox.recv <- svm.wait_match").
+  for (std::size_t i = site_depth_; i-- > 0;) {
+    const BlockSite& s = sites_[i];
+    oss << s.what << "(" << s.a << "," << s.b << ")";
+    if (i != 0) oss << " <- ";
+  }
+  return oss.str();
+}
+
+Scheduler::~Scheduler() { cancel_all(); }
+
+void Scheduler::cancel_all() {
   // Cooperatively cancel any actor that is still suspended mid-execution
   // (normal completion leaves none). Each resume makes switch_out() throw
   // CancelledError inside the actor, unwinding its stack.
   // A never-started fiber has no stack objects and may simply be
   // destroyed; running its body at teardown would be wrong.
+  //
+  // Besides the destructor, Chip::run calls this right before throwing a
+  // hang/deadlock error: the unwind must happen while the objects the
+  // parked frames reference (kernels, mailboxes, SVM runtimes) are still
+  // alive, which is no longer true once destruction reaches ~Scheduler.
   cancelling_ = true;
   for (auto& a : actors_) {
     if (a->state_ != Actor::State::kFinished && a->fiber_ != nullptr &&
@@ -34,8 +53,13 @@ Scheduler::~Scheduler() {
       current_ = a.get();
       a->fiber_->resume();
       current_ = nullptr;
+      if (a->fiber_->finished()) {
+        a->state_ = Actor::State::kFinished;
+        ++finished_count_;
+      }
     }
   }
+  cancelling_ = false;
 }
 
 Actor& Scheduler::spawn(std::string name, std::function<void()> body,
@@ -55,10 +79,22 @@ void Scheduler::schedule(Actor& a, TimePs at) {
   heap_.push(HeapEntry{at, seq_++, a.generation_, &a});
 }
 
+std::string Scheduler::describe_blocked_actors() const {
+  std::ostringstream oss;
+  for (const auto& a : actors_) {
+    if (a->state_ == Actor::State::kFinished) continue;
+    oss << "  " << a->name() << " @" << a->clock() << "ps";
+    const std::string sites = a->describe_sites();
+    oss << (sites.empty() ? " (no wait site recorded)" : " waiting at " + sites);
+    oss << "\n";
+  }
+  return oss.str();
+}
+
 void Scheduler::run() {
   assert(current_ == nullptr && "run() is not reentrant");
   running_ = true;
-  while (finished_count_ < actors_.size()) {
+  while (finished_count_ < actors_.size() && !stop_requested_) {
     // Pop the earliest valid heap entry.
     Actor* next = nullptr;
     TimePs at = 0;
@@ -75,13 +111,9 @@ void Scheduler::run() {
     }
     if (next == nullptr) {
       std::ostringstream oss;
-      oss << "simulated deadlock: all live actors blocked (";
-      for (const auto& a : actors_) {
-        if (a->state_ != Actor::State::kFinished) {
-          oss << a->name() << "@" << a->clock() << "ps ";
-        }
-      }
-      oss << ")";
+      oss << "simulated deadlock: all live actors blocked, no timeout "
+             "pending\n"
+          << describe_blocked_actors();
       running_ = false;
       throw DeadlockError(oss.str());
     }

@@ -15,6 +15,7 @@
 //   wake(a, t)     - make a blocked actor schedulable at time >= t
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <functional>
 #include <memory>
@@ -32,6 +33,17 @@ class Scheduler;
 
 /// Why a blocked actor resumed.
 enum class WakeReason { kWoken, kTimeout };
+
+/// One entry of an actor's wait-site stack: a static label plus two
+/// free-form operands (e.g. a mail type and a page index). Pushed by the
+/// wait loops of the layers above (mailbox recv/send, TAS spins, SVM
+/// protocol waits) so a deadlock abort or a watchdog hang report can say
+/// *what* each blocked core is waiting for, not just that it is blocked.
+struct BlockSite {
+  const char* what = nullptr;
+  u64 a = 0;
+  u64 b = 0;
+};
 
 /// A schedulable fiber with a virtual clock.
 class Actor {
@@ -52,6 +64,27 @@ class Actor {
     if (t > clock_) clock_ = t;
   }
 
+  // ---- wait-site annotation (host-side diagnostics, zero simulated
+  // cost; prefer the RAII BlockScope over calling these directly) ----
+
+  static constexpr std::size_t kMaxBlockSites = 4;
+
+  /// Pushes a wait-site entry; returns false (and records nothing) when
+  /// the stack is full — nested sites beyond the cap are simply elided.
+  bool push_site(const BlockSite& site) {
+    if (site_depth_ >= kMaxBlockSites) return false;
+    sites_[site_depth_++] = site;
+    return true;
+  }
+  void pop_site() {
+    assert(site_depth_ > 0);
+    --site_depth_;
+  }
+
+  /// "inner <- outer" description of the current wait-site stack, or ""
+  /// when no site is annotated.
+  std::string describe_sites() const;
+
  private:
   friend class Scheduler;
 
@@ -66,6 +99,8 @@ class Actor {
   u64 generation_ = 0;  // invalidates stale heap entries
   WakeReason wake_reason_ = WakeReason::kWoken;
   std::unique_ptr<Fiber> fiber_;
+  std::array<BlockSite, kMaxBlockSites> sites_{};
+  std::size_t site_depth_ = 0;
 };
 
 /// Thrown by Scheduler::run() when every live actor is blocked and no
@@ -128,6 +163,25 @@ class Scheduler {
   /// context) may call this.
   void wake(Actor& target, TimePs at);
 
+  /// Asks the run loop to return to the main context at the next actor
+  /// switch instead of resuming further actors. Used by the watchdog:
+  /// the tripping actor records its report, calls request_stop(), then
+  /// parks itself with block(); teardown unwinds everyone via
+  /// CancelledError. Safe to call from any actor or the main context.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  /// Unwinds every suspended actor by resuming it with CancelledError
+  /// (see switch_out). Must be called from the main context. The
+  /// destructor calls this; Chip::run also calls it right before
+  /// throwing a hang error, while the objects the parked stack frames
+  /// reference are still alive. Idempotent.
+  void cancel_all();
+
+  /// One line per unfinished actor: name, clock, state, and wait sites.
+  /// Used by the deadlock abort and by watchdog hang reports.
+  std::string describe_blocked_actors() const;
+
   std::size_t num_actors() const { return actors_.size(); }
   Actor& actor(std::size_t i) { return *actors_.at(i); }
 
@@ -155,6 +209,27 @@ class Scheduler {
   std::size_t finished_count_ = 0;
   bool running_ = false;
   bool cancelling_ = false;
+  bool stop_requested_ = false;
+};
+
+/// RAII wait-site annotation for the current actor. Tolerates a null
+/// actor (main-context callers) and a full site stack, so wait loops can
+/// annotate unconditionally.
+class BlockScope {
+ public:
+  BlockScope(Actor* actor, const char* what, u64 a = 0, u64 b = 0)
+      : actor_(actor) {
+    if (actor_ != nullptr) pushed_ = actor_->push_site({what, a, b});
+  }
+  ~BlockScope() {
+    if (pushed_) actor_->pop_site();
+  }
+  BlockScope(const BlockScope&) = delete;
+  BlockScope& operator=(const BlockScope&) = delete;
+
+ private:
+  Actor* actor_;
+  bool pushed_ = false;
 };
 
 }  // namespace msvm::sim

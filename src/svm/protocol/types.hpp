@@ -131,6 +131,9 @@ struct SvmStats {
   u64 replica_grants = 0;      // Exclusive->Shared downgrades served
   u64 invalidations_sent = 0;  // per-sharer invalidation mails sent
   u64 invalidations_received = 0;  // replicas this core dropped on demand
+  // Resilience machinery (all zero on a fault-free run).
+  u64 retransmits = 0;         // protocol requests re-sent after timeout
+  u64 dup_acks_dropped = 0;    // duplicate ACK mails discarded by dedup
 };
 
 /// Hardware-counter events the protocol raises; the binding layer maps

@@ -101,8 +101,17 @@ void Svm::barrier_master_gather() {
       const u64 flag = map.mpb_base(master_core) +
                        SvmDomain::kBarrierArriveOff +
                        static_cast<u32>(members[i]);
+      sim::BlockScope scope(core_.chip().scheduler().current(),
+                            "svm.barrier_gather",
+                            static_cast<u64>(members[i]));
+      const TimePs t0 = core_.now();
       TimePs gap = 200 * kPsPerNs;
       while (core_.pload<u8>(flag, scc::MemPolicy::kUncached) != sense) {
+        if (core_.chip().watchdog().check(core_.now(), t0,
+                                          "svm.barrier_gather",
+                                          core_.id())) {
+          core_.chip().scheduler().block();  // parked until teardown
+        }
         core_.relax(gap);
         gap = std::min<TimePs>(gap * 2, 50 * kPsPerUs);
       }
@@ -119,8 +128,17 @@ void Svm::barrier_master_gather() {
                      sense, scc::MemPolicy::kUncached);
     const u64 flag =
         map.mpb_base(core_.id()) + SvmDomain::kBarrierReleaseOff;
+    sim::BlockScope scope(core_.chip().scheduler().current(),
+                          "svm.barrier_release",
+                          static_cast<u64>(master_core));
+    const TimePs t0 = core_.now();
     TimePs gap = 200 * kPsPerNs;
     while (core_.pload<u8>(flag, scc::MemPolicy::kUncached) != sense) {
+      if (core_.chip().watchdog().check(core_.now(), t0,
+                                        "svm.barrier_release",
+                                        core_.id())) {
+        core_.chip().scheduler().block();  // parked until teardown
+      }
       core_.relax(gap);
       gap = std::min<TimePs>(gap * 2, 50 * kPsPerUs);
     }
@@ -164,8 +182,16 @@ void Svm::barrier_dissemination() {
                     parity * SvmDomain::kBarrierDissRounds + round;
     // Rounds are short (one flag write away); a large backoff cap would
     // compound oversleeps across the log2(n) rounds.
+    sim::BlockScope scope(core_.chip().scheduler().current(),
+                          "svm.barrier_diss", round,
+                          static_cast<u64>(to));
+    const TimePs t0 = core_.now();
     TimePs gap = 100 * kPsPerNs;
     while (core_.pload<u8>(own, scc::MemPolicy::kUncached) != sense) {
+      if (core_.chip().watchdog().check(core_.now(), t0,
+                                        "svm.barrier_diss", core_.id())) {
+        core_.chip().scheduler().block();  // parked until teardown
+      }
       core_.relax(gap);
       gap = std::min<TimePs>(gap * 2, 800 * kPsPerNs);
     }
@@ -260,11 +286,11 @@ void Svm::next_touch(u64 vaddr, u64 bytes) {
 void Svm::lock_acquire(int lock_id) {
   ++runtime_->stats().lock_acquires;
   const int reg = domain_.app_lock_reg(lock_id);
-  u64 backoff = 16;
-  while (!core_.tas_try_acquire(reg)) {
-    core_.relax(backoff * core_.chip().config().core_cycle_ps());
-    backoff = std::min<u64>(backoff * 2, 4096);
-  }
+  kernel::SpinWaitOpts opts;
+  opts.site = "svm.lock_acquire";
+  opts.site_arg = static_cast<u64>(lock_id);
+  kernel::spin_wait(core_, [&] { return core_.tas_try_acquire(reg); },
+                    opts);
   // Entering the critical section: see the lock holder's released data.
   runtime_->policy().on_acquire(*runtime_);
 }

@@ -255,6 +255,10 @@ class Svm {
   /// The coherence policy driving this endpoint's page state machine.
   const proto::CoherencePolicy& policy() const;
 
+  /// The binding layer (for diagnostics: the cluster registers its
+  /// append_hang_report with the chip watchdog).
+  SvmRuntime& runtime() { return *runtime_; }
+
   // ---- collective operations (every member must call, same args) ----
 
   /// Reserves `bytes` of shared virtual address space; returns its base

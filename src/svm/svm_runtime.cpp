@@ -70,6 +70,17 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
                     [this](const mbox::Mail& m) { dispatch_mail(m); });
   mbox_.set_handler(kMailInval,
                     [this](const mbox::Mail& m) { dispatch_mail(m); });
+  // ACKs pass through the dedup filter before reaching the inbox that
+  // wait_match consumes. Requests are deliberately NOT deduplicated: the
+  // serve paths are idempotent (a stale or duplicated request is simply
+  // re-answered), whereas a duplicated InvalAck would falsely satisfy
+  // one of the N outstanding multicast waits.
+  mbox_.set_handler(kMailOwnershipAck,
+                    [this](const mbox::Mail& m) { on_ack_mail(m); });
+  mbox_.set_handler(kMailReadAck,
+                    [this](const mbox::Mail& m) { on_ack_mail(m); });
+  mbox_.set_handler(kMailInvalAck,
+                    [this](const mbox::Mail& m) { on_ack_mail(m); });
 }
 
 u64 SvmRuntime::page_index_of(u64 vaddr) const {
@@ -88,6 +99,38 @@ SvmRuntime::RegionAttrs* SvmRuntime::region_of(u64 vaddr) {
   return nullptr;
 }
 
+void SvmRuntime::append_hang_report(std::string& out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "core %d svm: acquires=%llu serves=%llu forwards=%llu "
+                "retransmits=%llu dup_acks_dropped=%llu\n",
+                core_.id(),
+                static_cast<unsigned long long>(stats_.ownership_acquires),
+                static_cast<unsigned long long>(stats_.ownership_serves),
+                static_cast<unsigned long long>(stats_.ownership_forwards),
+                static_cast<unsigned long long>(stats_.retransmits),
+                static_cast<unsigned long long>(stats_.dup_acks_dropped));
+  out += buf;
+  if (pending_) {
+    // The owner word is read host-side (no simulated cost; the sim is
+    // already declared hung) so the report can say who the directory
+    // thinks owns the contended page.
+    u16 owner_word = 0;
+    core_.chip().memory().read(domain_.owner_entry_paddr(pending_->page),
+                               &owner_word, sizeof(owner_word));
+    std::snprintf(
+        buf, sizeof(buf),
+        "core %d svm: in-flight request type=0x%x page=%llu seq=%u "
+        "awaiting_mask=0x%llx owner_word=%u\n",
+        core_.id(), pending_->mail.type,
+        static_cast<unsigned long long>(pending_->page), pending_->seq,
+        static_cast<unsigned long long>(pending_->awaiting_mask),
+        owner_word);
+    out += buf;
+  }
+  out += trace_.dump("  svm-trace: ");
+}
+
 // ---------------------------------------------------------------------------
 // mail dispatch
 
@@ -97,6 +140,17 @@ void SvmRuntime::dispatch_mail(const mbox::Mail& mail) {
   trace_.record(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
                                   static_cast<u64>(msg.type),
                                   static_cast<u64>(msg.requester)});
+  // While serving this request, every mail we emit for it — the ACK, or
+  // a forward along the ownership chain — echoes its sequence number, so
+  // the originator's bounded wait matches the eventual ACK no matter how
+  // many hops served it. Save/restore keeps nesting safe (a serve may
+  // stall in send() and drain further requests).
+  struct SeqScope {
+    u16& slot;
+    u16 saved;
+    ~SeqScope() { slot = saved; }
+  } seq_scope{serving_seq_, serving_seq_};
+  serving_seq_ = mail.arg16;
   policy_->on_message(msg, *this);
 }
 
@@ -156,11 +210,11 @@ void SvmRuntime::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
   RegionAttrs* region = region_of(vaddr);
 
   const int lock_reg = domain_.scratchpad_lock_reg(page_idx);
-  u64 backoff = 16;
-  while (!core_.tas_try_acquire(lock_reg)) {
-    core_.relax(backoff * core_.chip().config().core_cycle_ps());
-    backoff = std::min<u64>(backoff * 2, 4096);
-  }
+  kernel::SpinWaitOpts lock_opts;
+  lock_opts.site = "svm.scratchpad_lock";
+  lock_opts.site_arg = page_idx;
+  kernel::spin_wait(
+      core_, [&] { return core_.tas_try_acquire(lock_reg); }, lock_opts);
   u16 entry = meta_word_.scratchpad(page_idx);
 
   if ((entry & kFrameMask) == 0) {
@@ -301,6 +355,38 @@ void SvmRuntime::map_readonly(u64 page_vaddr, u16 frame_no) {
 // ---------------------------------------------------------------------------
 // proto::ProtocolEnv — transport
 
+namespace {
+
+bool is_request_type(u8 type) {
+  return type == kMailOwnershipReq || type == kMailReadReq ||
+         type == kMailInval;
+}
+
+u8 ack_of(u8 request_type) {
+  // Req/Ack pairs are adjacent values (0x20/0x21, 0x22/0x23, 0x24/0x25).
+  return static_cast<u8>(request_type + 1);
+}
+
+// Default retransmission schedule: far above any fault-free protocol
+// wait (which is bounded by the peers' interrupt/poll latency, well
+// under a timer period), so the clean path never observes a timeout.
+constexpr TimePs kRetryBasePs = 50 * kPsPerMs;
+constexpr TimePs kRetryCapPs = 400 * kPsPerMs;
+
+/// SplitMix64 finaliser: mixes the ACK identity (sender, type, page,
+/// seq) into one dedup-ring key.
+u64 ack_key(const mbox::Mail& m) {
+  u64 x = (static_cast<u64>(static_cast<u32>(m.sender)) << 32) ^
+          (static_cast<u64>(m.type) << 24) ^ (m.p0 << 16) ^ m.arg16;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;  // 0 means "empty ring entry"
+}
+
+}  // namespace
+
 void SvmRuntime::send(int dest, const proto::Msg& m) {
   trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
                                   static_cast<u64>(m.type),
@@ -309,6 +395,17 @@ void SvmRuntime::send(int dest, const proto::Msg& m) {
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
   mail.p1 = static_cast<u64>(m.requester);
+  if (is_request_type(mail.type) && m.requester == self()) {
+    // A fresh request this core originates: stamp a new sequence number
+    // and remember it for bounded-wait retransmission.
+    mail.arg16 = ++seq_next_;
+    pending_ = PendingRequest{mail, u64{1} << dest, m.page, mail.arg16,
+                              ack_of(mail.type)};
+  } else {
+    // Forward of someone else's request, or an ACK: echo the sequence
+    // number of the request being served so the chain stays matched.
+    mail.arg16 = serving_seq_;
+  }
   mbox_.send(dest, mail);
 }
 
@@ -319,15 +416,104 @@ int SvmRuntime::multicast(u64 dest_mask, const proto::Msg& m) {
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
   mail.p1 = static_cast<u64>(m.requester);
+  mail.arg16 = ++seq_next_;
+  pending_ = PendingRequest{mail, dest_mask & ~(u64{1} << self()), m.page,
+                            mail.arg16, ack_of(mail.type)};
   return mbox_.multicast(dest_mask, mail);
+}
+
+void SvmRuntime::retransmit_pending() {
+  if (!pending_) return;
+  const int n = core_.chip().num_cores();
+  u64 mask = pending_->awaiting_mask;
+  for (int dest = 0; dest < n && mask != 0; ++dest, mask >>= 1) {
+    if ((mask & 1) == 0) continue;
+    // try_send only: a still-full slot means the original mail is still
+    // deliverable — re-raising the question must not block, and send()
+    // would. (try_send re-raises the IPI when it deposits.)
+    if (mbox_.try_send(dest, pending_->mail)) {
+      ++stats_.retransmits;
+      trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend,
+                                      pending_->page,
+                                      static_cast<u64>(pending_->mail.type),
+                                      static_cast<u64>(dest)});
+      MSVM_LOG_INFO("core %d: retransmit type=0x%x page=%llu seq=%u -> %d",
+                    core_.id(), pending_->mail.type,
+                    static_cast<unsigned long long>(pending_->page),
+                    pending_->seq, dest);
+    }
+  }
+}
+
+void SvmRuntime::on_ack_mail(const mbox::Mail& mail) {
+  const u64 key = ack_key(mail);
+  for (const u64 seen : ack_seen_) {
+    if (seen == key) {
+      ++stats_.dup_acks_dropped;
+      MSVM_LOG_INFO("core %d: dropped duplicate ack type=0x%x page=%llu "
+                    "seq=%u from %d",
+                    core_.id(), mail.type,
+                    static_cast<unsigned long long>(mail.p0), mail.arg16,
+                    mail.sender);
+      return;
+    }
+  }
+  ack_seen_[ack_seen_next_++ % ack_seen_.size()] = key;
+  mbox_.enqueue_inbox(mail);
 }
 
 proto::Msg SvmRuntime::wait_match(proto::MsgType type, u64 page) {
   const u8 mail_type = static_cast<u8>(type);
-  const mbox::Mail mail =
-      mbox_.recv_match([mail_type, page](const mbox::Mail& m) {
-        return m.type == mail_type && m.p0 == page;
-      });
+  sim::BlockScope scope(core_.chip().scheduler().current(),
+                        "svm.wait_match", static_cast<u64>(mail_type),
+                        page);
+  mbox::Mail mail;
+  const bool bounded = pending_ && pending_->ack_type == mail_type &&
+                       pending_->page == page;
+  if (!bounded) {
+    // No matching in-flight request of our own (e.g. harness-driven or
+    // legacy paths): the historical unbounded wait.
+    mail = mbox_.recv_match([mail_type, page](const mbox::Mail& m) {
+      return m.type == mail_type && m.p0 == page;
+    });
+  } else {
+    // Bounded wait: only an ACK echoing our request's sequence number
+    // counts, so stray ACKs from abandoned earlier rounds rot in the
+    // inbox instead of satisfying this wait. On timeout, retransmit
+    // idempotently with exponential backoff.
+    const u16 seq = pending_->seq;
+    const auto pred = [mail_type, page, seq](const mbox::Mail& m) {
+      return m.type == mail_type && m.p0 == page && m.arg16 == seq;
+    };
+    const TimePs plan_retry = core_.chip().faults().plan().retry_ps;
+    const TimePs base = plan_retry > 0 ? plan_retry : kRetryBasePs;
+    const TimePs cap = plan_retry > 0 ? plan_retry * 8 : kRetryCapPs;
+    TimePs timeout = base;
+    const TimePs t0 = core_.now();
+    for (;;) {
+      const auto m = mbox_.recv_match_until(pred, core_.now() + timeout);
+      if (m) {
+        mail = *m;
+        break;
+      }
+      if (core_.chip().watchdog().check(core_.now(), t0, "svm.wait_match",
+                                        core_.id())) {
+        core_.chip().scheduler().block();  // parked until teardown
+      }
+      retransmit_pending();
+      timeout = std::min<TimePs>(timeout * 2, cap);
+    }
+    if (mail_type == kMailInvalAck) {
+      // Multicast wait: retire this responder; keep the entry while
+      // other sharers still owe their ACK.
+      if (mail.sender >= 0) {
+        pending_->awaiting_mask &= ~(u64{1} << mail.sender);
+      }
+      if (pending_->awaiting_mask == 0) pending_.reset();
+    } else {
+      pending_.reset();
+    }
+  }
   const proto::Msg msg{type, mail.p0, static_cast<int>(mail.p1)};
   trace_.record(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
                                   static_cast<u64>(msg.type),
@@ -365,22 +551,22 @@ void SvmRuntime::downgrade_page(u64 page) {
 
 void SvmRuntime::transfer_lock(u64 page) {
   const int treg = domain_.transfer_lock_reg(page);
-  u64 spins = 0;
-  u64 backoff = 16;
-  while (!core_.tas_try_acquire(treg)) {
-    if (++spins % 100000 == 0) {
-      MSVM_LOG_ERROR(
-          "core %d: stuck spinning on transfer lock %d for page %llu "
-          "(holder=core %d, holder_page=%llu) t=%.3fms",
-          core_.id(), treg, static_cast<unsigned long long>(page),
-          domain_.debug_lock_holder_[static_cast<std::size_t>(treg)],
-          static_cast<unsigned long long>(
-              domain_.debug_lock_page_[static_cast<std::size_t>(treg)]),
-          ps_to_ms(core_.now()));
-    }
-    core_.relax(backoff * core_.chip().config().core_cycle_ps());
-    backoff = std::min<u64>(backoff * 2, 4096);
-  }
+  kernel::SpinWaitOpts opts;
+  opts.site = "svm.transfer_lock";
+  opts.site_arg = page;
+  opts.warn_every = 100000;
+  opts.on_stuck = [this, treg, page](u64 /*spins*/) {
+    MSVM_LOG_ERROR(
+        "core %d: stuck spinning on transfer lock %d for page %llu "
+        "(holder=core %d, holder_page=%llu) t=%.3fms",
+        core_.id(), treg, static_cast<unsigned long long>(page),
+        domain_.debug_lock_holder_[static_cast<std::size_t>(treg)],
+        static_cast<unsigned long long>(
+            domain_.debug_lock_page_[static_cast<std::size_t>(treg)]),
+        ps_to_ms(core_.now()));
+  };
+  kernel::spin_wait(core_, [&] { return core_.tas_try_acquire(treg); },
+                    opts);
   domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
   domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page;
 }

@@ -15,6 +15,9 @@
 // The Svm endpoint (svm.hpp) keeps only collectives, barriers and locks.
 #pragma once
 
+#include <array>
+#include <optional>
+
 #include "svm/svm.hpp"
 
 namespace msvm::svm {
@@ -46,6 +49,11 @@ class SvmRuntime final : public proto::ProtocolEnv,
   // ---- fault path (installed as the kernel's SVM fault handler) ----
 
   void handle_fault(u64 vaddr, bool is_write);
+
+  /// Appends this core's SVM diagnostics (stats, in-flight request,
+  /// owner-vector word of the contended page, protocol TraceRing) to a
+  /// watchdog hang report. Reads simulated memory host-side, cost-free.
+  void append_hang_report(std::string& out);
 
   // ---- helpers shared with the Svm collectives ----
 
@@ -85,6 +93,29 @@ class SvmRuntime final : public proto::ProtocolEnv,
   /// Converts an incoming protocol mail and hands it to the policy.
   void dispatch_mail(const mbox::Mail& mail);
 
+  /// One request this core originated and has not been fully acked:
+  /// the stamped mail for idempotent retransmission, plus the set of
+  /// destinations still owing an ACK (a single bit for unicast
+  /// requests, the sharer mask for an invalidation multicast).
+  struct PendingRequest {
+    mbox::Mail mail;        // exactly as first sent (arg16 = seq)
+    u64 awaiting_mask = 0;
+    u64 page = 0;
+    u16 seq = 0;
+    u8 ack_type = 0;
+  };
+
+  /// Receiver-side ACK filter: drops duplicates (same sender, type,
+  /// page, seq) so a retransmitted or fault-duplicated ACK can never be
+  /// counted twice against a multicast wait; survivors go to the inbox.
+  void on_ack_mail(const mbox::Mail& mail);
+
+  /// Re-sends the pending request to every destination still owing an
+  /// ACK. try_send only: when the original mail still sits in the slot
+  /// it is still deliverable and a duplicate deposit must not clobber
+  /// unrelated traffic.
+  void retransmit_pending();
+
   /// Mapping fault: first touch, migration, or plain (re)mapping; the
   /// model-dependent tail is delegated to the policy.
   void mapping_fault(u64 vaddr, u64 page_idx, bool is_write);
@@ -111,6 +142,16 @@ class SvmRuntime final : public proto::ProtocolEnv,
   u16 frame_batch_end_ = 0;
 
   std::vector<RegionAttrs> regions_;
+
+  // ---- protocol-mail resilience (all host-side bookkeeping) ----
+
+  u16 seq_next_ = 0;     // last sequence number stamped on a fresh request
+  u16 serving_seq_ = 0;  // seq of the request currently being served;
+                         // forwards and ACKs echo it so the chain keeps
+                         // the originator's sequence number end to end
+  std::optional<PendingRequest> pending_;
+  std::array<u64, 64> ack_seen_{};  // recent-ACK keys for the dedup ring
+  std::size_t ack_seen_next_ = 0;
 };
 
 }  // namespace msvm::svm

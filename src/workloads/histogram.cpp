@@ -35,6 +35,8 @@ HistogramResult run_histogram(const HistogramParams& p, svm::Model model,
   cfg.chip.private_dram_bytes = 1 << 20;
   cfg.svm.model = model;
   cfg.svm.read_replication = p.read_replication;
+  cfg.use_ipi = p.use_ipi;
+  cfg.chip.faults = p.faults;
   cluster::Cluster cl(cfg);
 
   HistogramResult result;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/types.hpp"
 #include "svm/svm.hpp"
 
@@ -19,6 +20,10 @@ struct HistogramParams {
   u64 seed = 42;
   /// Strong-model read-replication directory (no effect under LRC).
   bool read_replication = false;
+  /// Mailbox delivery mode (the chaos campaign exercises both).
+  bool use_ipi = true;
+  /// Chaos layer: deterministic fault-injection plan (default: no faults).
+  sim::FaultPlan faults;
 };
 
 struct HistogramResult {

@@ -70,6 +70,7 @@ LaplaceResult run_laplace_svm(const LaplaceParams& p, svm::Model model,
   cfg.svm.model = model;
   cfg.svm.read_replication = p.read_replication;
   cfg.use_ipi = use_ipi;
+  cfg.chip.faults = p.faults;
   cluster::Cluster cl(cfg);
 
   std::vector<double> partial(static_cast<std::size_t>(num_cores), 0.0);

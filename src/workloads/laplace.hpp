@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "sim/faults.hpp"
 #include "sim/types.hpp"
 #include "svm/svm.hpp"
 
@@ -39,6 +40,8 @@ struct LaplaceParams {
   /// one neighbour and written by their owner, the sharing pattern the
   /// directory turns into one grant + one invalidation per iteration.
   bool read_replication = false;
+  /// Chaos layer: deterministic fault-injection plan (default: no faults).
+  sim::FaultPlan faults;
 };
 
 struct LaplaceResult {

@@ -5,6 +5,7 @@
 // its rows of C through the write-combine buffer.
 #pragma once
 
+#include "sim/faults.hpp"
 #include "sim/types.hpp"
 #include "svm/svm.hpp"
 
@@ -19,6 +20,10 @@ struct MatmulParams {
   /// the protocol-level alternative to protect_inputs for read-mostly
   /// operands.
   bool read_replication = false;
+  /// Mailbox delivery mode (the chaos campaign exercises both).
+  bool use_ipi = true;
+  /// Chaos layer: deterministic fault-injection plan (default: no faults).
+  sim::FaultPlan faults;
 };
 
 struct MatmulResult {
