@@ -35,6 +35,7 @@ TimePs barrier_cost(svm::BarrierAlgo algo, int cores, int reps) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::obs_setup(argc, argv);
   const int reps = static_cast<int>(bench::arg_u64(argc, argv, "reps", 50));
 
   bench::print_header(

@@ -13,6 +13,7 @@
 using namespace msvm;
 
 int main(int argc, char** argv) {
+  bench::obs_setup(argc, argv);
   workloads::LaplaceParams p;
   p.nx = 512;
   p.ny = 128;

@@ -72,6 +72,7 @@ TimePs run(bool ack_via_mail, int pairs, u64 pages) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::obs_setup(argc, argv);
   const u64 pages = bench::arg_u64(argc, argv, "pages", 128);
 
   bench::print_header(

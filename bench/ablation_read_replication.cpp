@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       "extension beyond Lankes et al.; cf. Section 6.1 ownership "
       "transfers");
 
-  bench::JsonReport json("ablation_read_replication", seed);
+  bench::JsonReport json("ablation_read_replication", argc, argv);
   json.config("matmul_n", static_cast<u64>(n));
   json.config("laplace_iters", static_cast<u64>(iters));
 

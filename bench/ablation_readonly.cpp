@@ -9,6 +9,7 @@
 using namespace msvm;
 
 int main(int argc, char** argv) {
+  bench::obs_setup(argc, argv);
   workloads::MatmulParams p;
   p.n = static_cast<u32>(bench::arg_u64(argc, argv, "n", 64));
 

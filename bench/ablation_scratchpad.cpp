@@ -80,6 +80,7 @@ TimePs storm_cost_per_page(u32 stripes, int cores, u64 pages_per_core) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::obs_setup(argc, argv);
   const u64 pages = bench::arg_u64(argc, argv, "pages", 512);
 
   bench::print_header(

@@ -66,6 +66,7 @@ Outcome run(bool mpbt, u32 store_bytes, u64 total_bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::obs_setup(argc, argv);
   const u64 kb = bench::arg_u64(argc, argv, "kbytes", 256);
   const u64 total = kb << 10;
 

@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/bus.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/metrics.hpp"
 #include "sim/faults.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
@@ -91,6 +95,60 @@ inline sim::FaultPlan arg_faults(int argc, char** argv) {
   }
 }
 
+/// The uniform observability flag block every bench gains for free:
+///
+///   --trace=FILE     Chrome-trace/Perfetto JSON timeline of the run
+///   --trace-mem      also record per-transaction memory events (firehose)
+///   --metrics        fold run counters into the metrics registry; the
+///                    registry is appended to BENCH_*.json and printable
+///                    via the cluster report
+///   --heatmap=FILE   per-page SVM heatmap JSON
+///
+/// Fills obs::runtime_config() (which every Chip constructor applies to
+/// its bus) and registers atexit writers for the file outputs, so a
+/// bench only needs one obs_setup() call — or the JsonReport(name, argc,
+/// argv) constructor, which makes it. With none of the flags given this
+/// is a no-op and the run is byte-identical to a build without it.
+inline void obs_setup(int argc, char** argv) {
+  // Construct the global sinks BEFORE registering any atexit writer:
+  // exit handlers and static destructors share one LIFO stack, so a
+  // sink first constructed later (by the first Chip) would be destroyed
+  // before a writer registered here could read it.
+  (void)obs::global_collector();
+  (void)obs::global_heatmap();
+  (void)obs::global_metrics();
+  obs::RuntimeConfig& cfg = obs::runtime_config();
+  const std::string trace_path = arg_str(argc, argv, "trace");
+  if (!trace_path.empty()) {
+    cfg.trace_path = trace_path;
+    cfg.collect = true;
+    cfg.categories |= obs::kCatTrace;
+    if (arg_flag(argc, argv, "trace-mem")) cfg.categories |= obs::kCatMem;
+    static bool trace_writer_registered = false;
+    if (!trace_writer_registered) {
+      trace_writer_registered = true;
+      std::atexit([] {
+        obs::write_chrome_trace(obs::global_collector(),
+                                obs::runtime_config().trace_path.c_str());
+      });
+    }
+  }
+  const std::string heatmap_path = arg_str(argc, argv, "heatmap");
+  if (!heatmap_path.empty()) {
+    cfg.heatmap_path = heatmap_path;
+    cfg.heatmap = true;
+    static bool heatmap_writer_registered = false;
+    if (!heatmap_writer_registered) {
+      heatmap_writer_registered = true;
+      std::atexit([] {
+        obs::write_heatmap_json(obs::global_heatmap(),
+                                obs::runtime_config().heatmap_path.c_str());
+      });
+    }
+  }
+  if (arg_flag(argc, argv, "metrics")) cfg.metrics = true;
+}
+
 /// Machine-readable companion to the console tables: collects config
 /// key/values and named sample series, then writes BENCH_<name>.json
 /// into the working directory with count/median/p95 per series. The
@@ -103,6 +161,13 @@ class JsonReport {
   explicit JsonReport(std::string name, u64 seed = 42)
       : name_(std::move(name)) {
     config("seed", seed);
+  }
+
+  /// Preferred form: records the --seed and wires up the uniform
+  /// observability flag block (--trace/--metrics/--heatmap) in one go.
+  JsonReport(std::string name, int argc, char** argv)
+      : JsonReport(std::move(name), arg_seed(argc, argv)) {
+    obs_setup(argc, argv);
   }
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
@@ -146,7 +211,14 @@ class JsonReport {
                    fmt_double(percentile(v, 0.95)).c_str());
       first_series = false;
     }
-    std::fprintf(f, "%s}\n}\n", series_.empty() ? "" : "\n  ");
+    std::fprintf(f, "%s}", series_.empty() ? "" : "\n  ");
+    // Only under --metrics (and only when something was folded): without
+    // the flag the emitted bytes are identical to the historical format.
+    if (obs::runtime_config().metrics && !obs::global_metrics().empty()) {
+      std::fprintf(f, ",\n  \"metrics\": %s",
+                   obs::global_metrics().to_json("    ").c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
   }
 

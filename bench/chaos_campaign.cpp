@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
       "chaos campaign: workloads under deterministic fault injection",
       "robustness contract: correct data or a typed, reported failure");
 
-  bench::JsonReport json("chaos_campaign", seed);
+  bench::JsonReport json("chaos_campaign", argc, argv);
   json.config("plans", num_plans);
   json.config("cores", static_cast<u64>(cores));
   if (!fixed_spec.empty()) json.config("faults", fixed_spec);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       {10, 5}, {22, 6}, {34, 7}, {46, 8},
   };
 
-  bench::JsonReport json("fig6", bench::arg_seed(argc, argv));
+  bench::JsonReport json("fig6", argc, argv);
   json.config("reps", static_cast<u64>(reps));
 
   std::printf("%8s %8s | %16s | %16s\n", "partner", "hops", "no-IPI [us]",

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
       "Figure 7 — mailbox latency core 0 <-> 30 vs. activated cores",
       "Lankes et al., PMAM'12, Section 7.1, Figure 7");
 
-  bench::JsonReport json("fig7", bench::arg_seed(argc, argv));
+  bench::JsonReport json("fig7", argc, argv);
   json.config("reps", static_cast<u64>(reps));
 
   std::printf("%10s | %14s | %14s | %18s\n", "activated", "no-IPI [us]",

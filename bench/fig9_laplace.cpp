@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
               "lazy [ms]", "speedup", "strong flt/it/core");
   bench::print_row_sep();
 
-  bench::JsonReport json("fig9", bench::arg_seed(argc, argv));
+  bench::JsonReport json("fig9", argc, argv);
   json.config("nx", static_cast<u64>(p.nx));
   json.config("ny", static_cast<u64>(p.ny));
   json.config("iterations", static_cast<u64>(p.iterations));

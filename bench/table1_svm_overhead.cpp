@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       "several times the lazy mapping; permission retrieval exists only\n"
       "under the strong model and is roughly (strong - lazy) mapping.\n");
 
-  bench::JsonReport json("table1", bench::arg_seed(argc, argv));
+  bench::JsonReport json("table1", argc, argv);
   json.config("mbytes", mbytes);
   json.sample("strong_alloc_total_us", ps_to_us(strong.alloc_total));
   json.sample("lazy_alloc_total_us", ps_to_us(lazy.alloc_total));

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "svm/svm_runtime.hpp"
 
 namespace msvm::cluster {
@@ -128,6 +129,18 @@ void Cluster::run(Body body) {
     }
   }
   chip_.run();
+
+  if (obs::runtime_config().metrics) {
+    // Fold the run's SVM/mailbox tallies into the process-wide registry
+    // (named counters; the --metrics flag dumps them into BENCH_*.json).
+    obs::MetricsRegistry& m = obs::global_metrics();
+    for (const int c : members_) {
+      obs::fold_fields(m, "svm", node(c).svm().stats(),
+                       svm::proto::kSvmStatsFields);
+      obs::fold_fields(m, "mailbox", node(c).mbox().stats(),
+                       mbox::kMailboxStatsFields);
+    }
+  }
 }
 
 Node& Cluster::node(int core_id) {

@@ -3,6 +3,9 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/heatmap.hpp"
+#include "obs/metrics.hpp"
+
 namespace msvm::cluster {
 
 namespace {
@@ -65,27 +68,15 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
   append_core_row(out, "total", cluster.chip().total_counters(), options);
 
   if (options.svm) {
+    // Table-driven aggregation: every SvmStats field sums, no hand-kept
+    // field list to fall out of date.
     svm::SvmStats svm_total;
-    for (const int c : cluster.members()) {
-      const svm::SvmStats& s = cluster.node(c).svm().stats();
-      svm_total.map_faults += s.map_faults;
-      svm_total.first_touch_allocs += s.first_touch_allocs;
-      svm_total.ownership_acquires += s.ownership_acquires;
-      svm_total.ownership_serves += s.ownership_serves;
-      svm_total.ownership_forwards += s.ownership_forwards;
-      svm_total.migrations += s.migrations;
-      svm_total.barriers += s.barriers;
-      svm_total.lock_acquires += s.lock_acquires;
-      svm_total.retransmits += s.retransmits;
-      svm_total.dup_acks_dropped += s.dup_acks_dropped;
-    }
     scc::CoreCounters fault_total;
     for (const int c : cluster.members()) {
       const svm::SvmStats& s = cluster.node(c).svm().stats();
-      svm_total.replica_installs += s.replica_installs;
-      svm_total.replica_grants += s.replica_grants;
-      svm_total.invalidations_sent += s.invalidations_sent;
-      svm_total.invalidations_received += s.invalidations_received;
+      for (const auto& f : svm::proto::kSvmStatsFields) {
+        svm_total.*(f.member) += s.*(f.member);
+      }
       fault_total += cluster.node(c).core().counters();
     }
     appendf(out,
@@ -121,45 +112,53 @@ std::string format_report(Cluster& cluster, const ReportOptions& options) {
 
   if (options.svm_trace) {
     for (const int c : cluster.members()) {
-      const svm::proto::TraceRing& ring = cluster.node(c).svm().trace();
+      const obs::EventRing& ring = cluster.node(c).svm().trace();
       if (ring.recorded() == 0) continue;
       appendf(out, "svm-trace core %d (%llu event(s), newest last):\n", c,
               static_cast<unsigned long long>(ring.recorded()));
-      out += ring.dump("  ", options.svm_trace_events);
+      out += svm::proto_trace_dump(ring, "  ", options.svm_trace_events);
     }
   }
 
   if (options.mailbox) {
-    u64 sent = 0;
-    u64 received = 0;
-    u64 checks = 0;
-    u64 send_stalls = 0;
-    u64 sweep_recoveries = 0;
-    u64 degradations = 0;
-    TimePs send_stall_ps = 0;
-    TimePs recv_wait_ps = 0;
+    mbox::MailboxStats total;
     for (const int c : cluster.members()) {
       const mbox::MailboxStats& m = cluster.node(c).mbox().stats();
-      sent += m.sent;
-      received += m.received;
-      checks += m.slot_checks;
-      send_stalls += m.send_stalls;
-      send_stall_ps += m.send_stall_ps;
-      recv_wait_ps += m.recv_wait_ps;
-      sweep_recoveries += m.sweep_recoveries;
-      degradations += m.degradations;
+      for (const auto& f : mbox::kMailboxStatsFields) {
+        total.*(f.member) += m.*(f.member);
+      }
     }
     appendf(out, "mailbox: sent %llu, received %llu, slot checks %llu\n",
-            static_cast<unsigned long long>(sent),
-            static_cast<unsigned long long>(received),
-            static_cast<unsigned long long>(checks));
+            static_cast<unsigned long long>(total.sent),
+            static_cast<unsigned long long>(total.received),
+            static_cast<unsigned long long>(total.slot_checks));
     appendf(out,
             "mailbox-stall: send stalls %llu (%.3f ms), recv wait "
             "%.3f ms, sweep recoveries %llu, degraded %llu\n",
-            static_cast<unsigned long long>(send_stalls),
-            ps_to_ms(send_stall_ps), ps_to_ms(recv_wait_ps),
-            static_cast<unsigned long long>(sweep_recoveries),
-            static_cast<unsigned long long>(degradations));
+            static_cast<unsigned long long>(total.send_stalls),
+            ps_to_ms(total.send_stall_ps), ps_to_ms(total.recv_wait_ps),
+            static_cast<unsigned long long>(total.sweep_recoveries),
+            static_cast<unsigned long long>(total.degradations));
+  }
+
+  if (options.heatmap && !obs::global_heatmap().empty()) {
+    appendf(out, "svm-heatmap (top %zu page(s) by activity):\n",
+            options.heatmap_top);
+    out += obs::global_heatmap().table(options.heatmap_top, "  ");
+  }
+
+  if (options.metrics && !obs::global_metrics().empty()) {
+    out += "metrics:\n";
+    for (const auto& [name, value] : obs::global_metrics().counters()) {
+      appendf(out, "  %-32s %llu\n", name.c_str(),
+              static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, summary] : obs::global_metrics().histograms()) {
+      (void)summary;
+      const auto s = obs::global_metrics().summarize(name);
+      appendf(out, "  %-32s n=%zu mean=%g p50=%g p95=%g\n", name.c_str(),
+              s.count, s.mean, s.p50, s.p95);
+    }
   }
   return out;
 }

@@ -18,6 +18,13 @@ struct ReportOptions {
   bool mailbox = true;    // mail traffic
   bool svm_trace = false;      // per-core protocol-event ring dump
   std::size_t svm_trace_events = 8;  // newest events per core to render
+  /// Render the per-page SVM heatmap collected on the observability bus
+  /// (requires a run with the heatmap sink attached, e.g. --heatmap).
+  bool heatmap = false;
+  std::size_t heatmap_top = 8;  // hottest pages to render
+  /// Render the process-wide metrics registry (named counters folded by
+  /// the chip and cluster teardown under --metrics).
+  bool metrics = false;
 };
 
 /// Renders the statistics of a finished run. Call after Cluster::run().

@@ -72,6 +72,11 @@ void MailboxSystem::sweep_tick() {
   // Every mail found here is one whose IPI never got us to check the
   // slot — interrupt loss evidence.
   stats_.sweep_recoveries += static_cast<u64>(seen);
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatMail)) {
+    bus.publish(obs::Event{core_.now(), static_cast<u64>(seen), 0, 0,
+                           obs::EventKind::kMailSweep, core_.id()});
+  }
   MSVM_LOG_INFO("core %d: poll sweep recovered %d mail(s) missed by IPI",
                 core_.id(), seen);
   if (cfg_.degrade_after > 0 &&
@@ -110,6 +115,15 @@ void MailboxSystem::deposit(u64 slot, const Mail& mail, int dest) {
   ++stats_.sent;
   MSVM_LOG_DEBUG("core %d: DEPOSIT type=%u p0=%llu -> %d", core_.id(),
                  mail.type, static_cast<unsigned long long>(mail.p0), dest);
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatMail)) {
+    // p1 carries the requester rank on protocol mails; the packed word
+    // lets the trace exporter reconstruct request/ACK flow chains.
+    bus.publish(obs::Event{
+        core_.now(), static_cast<u64>(dest),
+        obs::pack_mail(mail.type, mail.arg16, static_cast<obs::u8>(mail.p1)),
+        mail.p0, obs::EventKind::kMailSend, core_.id()});
+  }
   if (use_ipi_) core_.raise_ipi(dest);
 }
 
@@ -240,6 +254,12 @@ bool MailboxSystem::check_slot(int sender) {
     // pretends it is not — the mail stays deposited and a later check
     // (poll, sweep, or retransmission-triggered) will see it.
     core_.irq_enable();
+    obs::EventBus& bus = core_.chip().bus();
+    if (bus.enabled(obs::kCatChaos)) {
+      bus.publish(obs::Event{
+          core_.now(), static_cast<u64>(obs::InjectKind::kMailDelay), 0, 0,
+          obs::EventKind::kFaultInject, core_.id()});
+    }
     return false;
   }
 
@@ -259,12 +279,24 @@ bool MailboxSystem::check_slot(int sender) {
   core_.pstore<u8>(slot + kFlagOff, 0, scc::MemPolicy::kUncached);
   core_.irq_enable();
   ++stats_.received;
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatMail)) {
+    bus.publish(obs::Event{
+        core_.now(), static_cast<u64>(sender),
+        obs::pack_mail(mail.type, mail.arg16, static_cast<obs::u8>(mail.p1)),
+        mail.p0, obs::EventKind::kMailDeliver, core_.id()});
+  }
   core_.compute_cycles(kMailSoftwareCycles);
   dispatch(mail);
   if (core_.chip().faults().enabled() &&
       core_.chip().faults().duplicate_mail()) {
     // Injected duplicate delivery: the same consumed mail is handed to
     // dispatch a second time, probing the receiver-side dedup.
+    if (bus.enabled(obs::kCatChaos)) {
+      bus.publish(obs::Event{
+          core_.now(), static_cast<u64>(obs::InjectKind::kMailDup), 0, 0,
+          obs::EventKind::kFaultInject, core_.id()});
+    }
     dispatch(mail);
   }
   return true;

@@ -58,6 +58,28 @@ struct MailboxStats {
   u64 dispatches_deferred = 0;  // handler runs queued past the depth cap
 };
 
+/// Self-description of MailboxStats, in declaration order, for
+/// table-driven aggregation and metrics export.
+struct MailboxStatsField {
+  const char* name;
+  u64 MailboxStats::*member;
+};
+
+inline constexpr MailboxStatsField kMailboxStatsFields[] = {
+    {"sent", &MailboxStats::sent},
+    {"received", &MailboxStats::received},
+    {"slot_checks", &MailboxStats::slot_checks},
+    {"send_stalls", &MailboxStats::send_stalls},
+    {"handler_dispatch", &MailboxStats::handler_dispatch},
+    {"inbox_enqueued", &MailboxStats::inbox_enqueued},
+    {"multicasts", &MailboxStats::multicasts},
+    {"send_stall_ps", &MailboxStats::send_stall_ps},
+    {"recv_wait_ps", &MailboxStats::recv_wait_ps},
+    {"sweep_recoveries", &MailboxStats::sweep_recoveries},
+    {"degradations", &MailboxStats::degradations},
+    {"dispatches_deferred", &MailboxStats::dispatches_deferred},
+};
+
 /// Delivery-mode + resilience knobs for one MailboxSystem. The sweep
 /// fields only matter in IPI mode and default to off (bit-identical):
 /// a missed IPI then wedges the receiver exactly like the real part.

@@ -1,0 +1,240 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msvm::obs {
+
+namespace {
+
+const char* wire_name(u8 type) {
+  switch (type) {
+    case kWireOwnershipReq: return "OwnershipReq";
+    case kWireOwnershipAck: return "OwnershipAck";
+    case kWireReadReq: return "ReadReq";
+    case kWireReadAck: return "ReadAck";
+    case kWireInval: return "Inval";
+    case kWireInvalAck: return "InvalAck";
+  }
+  return "mail";
+}
+
+std::string fmt_ts(u64 t_ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f",
+                static_cast<double>(t_ps) / 1e6);  // ps -> us
+  return buf;
+}
+
+/// One finished JSON record with the timestamp it sorts by. stable_sort
+/// on `t` makes every track's timestamps monotone (each core's virtual
+/// clock already is; cross-core interleavings are whatever publish
+/// order was, which sorting normalises).
+struct Rec {
+  u64 t;
+  std::string json;
+};
+
+void emit(std::vector<Rec>& out, u64 t, const char* name, const char* cat,
+          const char* ph, int tid, const std::string& extra) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                "\"pid\":0,\"tid\":%d,\"ts\":",
+                name, cat, ph, tid);
+  std::string j = buf;
+  j += fmt_ts(t);
+  j += extra;
+  j += "}";
+  out.push_back(Rec{t, std::move(j)});
+}
+
+std::string args_u64(const char* k0, u64 v0, const char* k1 = nullptr,
+                     u64 v1 = 0, const char* k2 = nullptr, u64 v2 = 0) {
+  char buf[160];
+  std::string s = ",\"args\":{";
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", k0,
+                static_cast<unsigned long long>(v0));
+  s += buf;
+  if (k1 != nullptr) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", k1,
+                  static_cast<unsigned long long>(v1));
+    s += buf;
+  }
+  if (k2 != nullptr) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", k2,
+                  static_cast<unsigned long long>(v2));
+    s += buf;
+  }
+  return s + "}";
+}
+
+std::string flow_extra(u64 id, bool terminating) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s,\"id\":%llu",
+                terminating ? ",\"bp\":\"e\"" : "",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Flow-step classification for one mail event. The chain for a request
+/// (requester R, seq S, flow id (R<<16)|S):
+///   s  request send on R        (inside R's svm-fault slice)
+///   t  request deliver at owner (and any forward hops, re-sends)
+///   t  ACK send on the owner    (inside its svm-serve slice)
+///   f  ACK deliver back on R    (inside the same svm-fault slice)
+void emit_mail_flow(std::vector<Rec>& out, const Event& e) {
+  const u8 type = mail_type(e.b);
+  const bool request = is_wire_request(type);
+  const bool ack = is_wire_ack(type);
+  if (!request && !ack) return;
+  // Requests carry the originating requester in the packed header; ACKs
+  // carry 0 there (the wire format echoes the Msg, whose requester field
+  // an ACK does not use) — but an ACK's requester is exactly where it is
+  // going (send) or where it was consumed (deliver).
+  const u8 requester =
+      request ? mail_requester(e.b)
+              : (e.kind == EventKind::kMailSend
+                     ? static_cast<u8>(e.a)
+                     : static_cast<u8>(e.core));
+  const u64 id = flow_id(requester, mail_seq(e.b));
+  const bool at_requester = e.core >= 0 &&
+                            static_cast<u8>(e.core) == requester;
+  const char* ph;
+  if (e.kind == EventKind::kMailSend) {
+    ph = (request && at_requester) ? "s" : "t";
+  } else {  // kMailDeliver
+    ph = (ack && at_requester) ? "f" : "t";
+  }
+  emit(out, e.t_ps, "svm-req", "svm", ph, e.core,
+       flow_extra(id, ph[0] == 'f'));
+}
+
+void meta_thread(std::vector<std::string>& out, int tid,
+                 const std::string& name) {
+  out.push_back("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"tid\":" +
+                std::to_string(tid) + ",\"args\":{\"name\":\"" + name +
+                "\"}}");
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceCollector& c) {
+  std::vector<std::string> meta;
+  meta.push_back(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"msvm\"}}");
+  int max_core = c.num_cores() - 1;
+  for (const Event& e : c.events()) {
+    if (e.core > max_core) max_core = e.core;
+  }
+  for (int i = 0; i <= max_core; ++i) {
+    meta_thread(meta, i, "core " + std::to_string(i));
+  }
+  meta_thread(meta, kTidMailbox, "mailbox");
+  meta_thread(meta, kTidChaos, "chaos");
+  meta_thread(meta, kTidMemory, "memory");
+  meta_thread(meta, kTidChip, "chip");
+
+  std::vector<Rec> recs;
+  recs.reserve(c.events().size());
+  for (const Event& e : c.events()) {
+    const int core_tid = e.core >= 0 ? e.core : kTidChip;
+    switch (e.kind) {
+      case EventKind::kFaultBegin:
+        emit(recs, e.t_ps, "svm-fault", "svm", "B", core_tid,
+             args_u64("page", e.a, "write", e.b));
+        break;
+      case EventKind::kFaultEnd:
+        emit(recs, e.t_ps, "svm-fault", "svm", "E", core_tid, "");
+        break;
+      case EventKind::kServeBegin:
+        emit(recs, e.t_ps, "svm-serve", "svm", "B", core_tid,
+             args_u64("page", e.a, "type", e.b, "seq", e.c));
+        break;
+      case EventKind::kServeEnd:
+        emit(recs, e.t_ps, "svm-serve", "svm", "E", core_tid, "");
+        break;
+      case EventKind::kMailSend:
+        emit(recs, e.t_ps, wire_name(mail_type(e.b)), "mail", "i",
+             kTidMailbox,
+             ",\"s\":\"t\"" +
+                 args_u64("from", static_cast<u64>(e.core), "to", e.a,
+                          "page", e.c));
+        emit_mail_flow(recs, e);
+        break;
+      case EventKind::kMailDeliver:
+        emit(recs, e.t_ps, wire_name(mail_type(e.b)), "mail", "i",
+             kTidMailbox,
+             ",\"s\":\"t\"" +
+                 args_u64("at", static_cast<u64>(e.core), "from", e.a,
+                          "page", e.c));
+        emit_mail_flow(recs, e);
+        break;
+      case EventKind::kMailSweep:
+        emit(recs, e.t_ps, "mail-sweep", "mail", "i", kTidMailbox,
+             ",\"s\":\"t\"" + args_u64("recovered", e.a));
+        break;
+      case EventKind::kMemRead:
+      case EventKind::kMemWrite:
+        emit(recs, e.t_ps, to_string(e.kind), "mem", "i", kTidMemory,
+             ",\"s\":\"t\"" +
+                 args_u64("paddr", e.a, "size", e.b, "core",
+                          static_cast<u64>(e.core)));
+        break;
+      case EventKind::kFaultInject:
+        emit(recs, e.t_ps, to_string(static_cast<InjectKind>(e.a)),
+             "chaos", "i", kTidChaos,
+             ",\"s\":\"t\"" +
+                 args_u64("core", static_cast<u64>(e.core), "ps", e.b));
+        break;
+      case EventKind::kWatchdogTrip:
+        emit(recs, e.t_ps, "watchdog-trip", "chaos", "i", kTidChaos,
+             ",\"s\":\"p\"" + args_u64("core", e.a));
+        break;
+      default:
+        // Protocol events, lock/WCB/IPI instants, retransmits: thread-
+        // scoped instants on the publishing core's track.
+        emit(recs, e.t_ps, to_string(e.kind),
+             category_of(e.kind) == kCatProto ? "proto" : "sync", "i",
+             core_tid,
+             ",\"s\":\"t\"" + args_u64("a", e.a, "b", e.b, "c", e.c));
+        break;
+    }
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Rec& x, const Rec& y) { return x.t < y.t; });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& m : meta) {
+    out += first ? "\n" : ",\n";
+    out += m;
+    first = false;
+  }
+  for (const Rec& r : recs) {
+    out += first ? "\n" : ",\n";
+    out += r.json;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const TraceCollector& c, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(c);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                  json.size();
+  std::fclose(f);
+  return ok;
+}
+
+TraceCollector& global_collector() {
+  static TraceCollector c;
+  return c;
+}
+
+}  // namespace msvm::obs

@@ -1,0 +1,81 @@
+// Chrome-trace / Perfetto exporter. A TraceCollector sink accumulates
+// the published event stream; chrome_trace_json renders it as a JSON
+// trace with one track per core plus mailbox / chaos / memory tracks,
+// B/E duration slices for the SVM fault and serve windows, and flow
+// events stitching every protocol request round-trip (fault-begin ->
+// request mail -> owner service -> ACK -> fault-end) into one clickable
+// chain. Load the file at https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/bus.hpp"
+#include "obs/events.hpp"
+
+namespace msvm::obs {
+
+/// Reserved track (tid) numbers beyond the per-core tracks.
+inline constexpr int kTidMailbox = 900;
+inline constexpr int kTidChaos = 901;
+inline constexpr int kTidMemory = 910;
+inline constexpr int kTidChip = 999;
+
+class TraceCollector final : public EventSink {
+ public:
+  void on_event(const Event& e) override {
+    u64 t = e.t_ps + session_offset_;
+    if (t > max_t_) max_t_ = t;
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    Event shifted = e;
+    shifted.t_ps = t;
+    events_.push_back(shifted);
+  }
+
+  /// Called once per chip construction: shifts this session's virtual
+  /// time past everything already collected, so a bench that runs many
+  /// chips in sequence (each restarting at t=0) still produces one
+  /// monotone timeline instead of overlapping ghosts.
+  void begin_session(int num_cores) {
+    if (num_cores > num_cores_) num_cores_ = num_cores;
+    if (!events_.empty()) session_offset_ = max_t_ + kSessionGapPs;
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  int num_cores() const { return num_cores_; }
+  u64 dropped() const { return dropped_; }
+  bool empty() const { return events_.empty(); }
+
+  void clear() {
+    events_.clear();
+    session_offset_ = 0;
+    max_t_ = 0;
+    dropped_ = 0;
+    num_cores_ = 0;
+  }
+
+ private:
+  static constexpr u64 kSessionGapPs = 1'000'000;  // 1 us between runs
+
+  std::vector<Event> events_;
+  u64 session_offset_ = 0;
+  u64 max_t_ = 0;
+  u64 dropped_ = 0;
+  int num_cores_ = 0;
+  std::size_t capacity_ = 2'000'000;
+};
+
+/// The process-wide collector --trace attaches to every chip's bus.
+TraceCollector& global_collector();
+
+/// Renders the collected events as Chrome-trace JSON.
+std::string chrome_trace_json(const TraceCollector& c);
+
+/// Writes chrome_trace_json to `path`; returns false on I/O failure.
+bool write_chrome_trace(const TraceCollector& c, const std::string& path);
+
+}  // namespace msvm::obs

@@ -1,0 +1,100 @@
+#include "obs/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace msvm::obs {
+
+void PageHeatmap::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kProtoFault:
+      if (e.b != 0) {
+        ++pages_[e.a].write_faults;
+      } else {
+        ++pages_[e.a].read_faults;
+      }
+      break;
+    case EventKind::kProtoMsgRecv:
+      // Count protocol completions on the receiving side: an
+      // OwnershipAck means ownership just moved to this core, a ReadAck
+      // that a replica was granted, an Inval that a replica is being
+      // dropped here.
+      switch (static_cast<u8>(e.b)) {
+        case kWireOwnershipAck: ++pages_[e.a].transfers; break;
+        case kWireReadAck: ++pages_[e.a].replica_grants; break;
+        case kWireInval: ++pages_[e.a].invalidations; break;
+        default: break;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+std::string PageHeatmap::to_json() const {
+  std::string out = "{\n  \"pages\": [";
+  bool first = true;
+  for (const auto& [page, s] : pages_) {
+    char buf[224];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"page\": %llu, \"read_faults\": %llu, \"write_faults\": %llu, "
+        "\"transfers\": %llu, \"invalidations\": %llu, "
+        "\"replica_grants\": %llu}",
+        static_cast<unsigned long long>(page),
+        static_cast<unsigned long long>(s.read_faults),
+        static_cast<unsigned long long>(s.write_faults),
+        static_cast<unsigned long long>(s.transfers),
+        static_cast<unsigned long long>(s.invalidations),
+        static_cast<unsigned long long>(s.replica_grants));
+    out += first ? "\n    " : ",\n    ";
+    out += buf;
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string PageHeatmap::table(std::size_t top_n,
+                               const std::string& prefix) const {
+  std::vector<std::pair<u64, PageStats>> hot(pages_.begin(), pages_.end());
+  std::stable_sort(hot.begin(), hot.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second.total() > y.second.total();
+                   });
+  if (hot.size() > top_n) hot.resize(top_n);
+  std::string out;
+  for (const auto& [page, s] : hot) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "page %6llu: faults rd %6llu wr %6llu, transfers %6llu, "
+                  "invals %6llu, grants %6llu\n",
+                  static_cast<unsigned long long>(page),
+                  static_cast<unsigned long long>(s.read_faults),
+                  static_cast<unsigned long long>(s.write_faults),
+                  static_cast<unsigned long long>(s.transfers),
+                  static_cast<unsigned long long>(s.invalidations),
+                  static_cast<unsigned long long>(s.replica_grants));
+    out += prefix;
+    out += buf;
+  }
+  return out;
+}
+
+PageHeatmap& global_heatmap() {
+  static PageHeatmap h;
+  return h;
+}
+
+bool write_heatmap_json(const PageHeatmap& h, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = h.to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                  json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace msvm::obs

@@ -1,0 +1,58 @@
+// Per-page SVM heatmap: faults, ownership transfers and replica
+// invalidations per page, accumulated from the protocol event stream.
+// Makes false sharing and placement pathologies visible — the hottest
+// pages are exactly where the coherence protocol burns its time.
+//
+// The heatmap is a plain EventSink over the always-on protocol category,
+// so it needs no extra publish sites: attach it and every state
+// transition, message and fault it cares about is already flowing.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "obs/bus.hpp"
+#include "obs/events.hpp"
+
+namespace msvm::obs {
+
+class PageHeatmap final : public EventSink {
+ public:
+  struct PageStats {
+    u64 read_faults = 0;
+    u64 write_faults = 0;
+    u64 transfers = 0;       // ownership moved to a new core
+    u64 invalidations = 0;   // replicas dropped on demand
+    u64 replica_grants = 0;  // read-only replicas handed out
+    u64 total() const {
+      return read_faults + write_faults + transfers + invalidations +
+             replica_grants;
+    }
+  };
+
+  void on_event(const Event& e) override;
+
+  const std::map<u64, PageStats>& pages() const { return pages_; }
+  bool empty() const { return pages_.empty(); }
+  void clear() { pages_.clear(); }
+
+  /// Machine-readable dump: {"pages": [{"page": N, ...}, ...]}.
+  std::string to_json() const;
+
+  /// Report table of the `top_n` hottest pages, one per line, each
+  /// prefixed with `prefix`.
+  std::string table(std::size_t top_n,
+                    const std::string& prefix = "  ") const;
+
+ private:
+  std::map<u64, PageStats> pages_;
+};
+
+/// The process-wide heatmap --metrics / --heatmap attach to every bus.
+PageHeatmap& global_heatmap();
+
+/// Writes to_json to `path`; returns false on I/O failure.
+bool write_heatmap_json(const PageHeatmap& h, const std::string& path);
+
+}  // namespace msvm::obs

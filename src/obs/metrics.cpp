@@ -1,0 +1,80 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msvm::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+MetricsRegistry::HistSummary MetricsRegistry::summarize(
+    const std::string& name) const {
+  HistSummary s;
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second.empty()) return s;
+  std::vector<double> v = it->second;
+  std::sort(v.begin(), v.end());
+  s.count = v.size();
+  s.min = v.front();
+  s.max = v.back();
+  double sum = 0;
+  for (const double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  s.p50 = percentile(v, 0.50);
+  s.p95 = percentile(v, 0.95);
+  return s;
+}
+
+std::string MetricsRegistry::to_json(const std::string& indent) const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += indent + "\"" + name + "\": " + std::to_string(value);
+    first = false;
+  }
+  for (const auto& [name, samples] : histograms_) {
+    (void)samples;
+    const HistSummary s = summarize(name);
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %zu, \"min\": %s, \"max\": %s, "
+                  "\"mean\": %s, \"p50\": %s, \"p95\": %s}",
+                  s.count, fmt_double(s.min).c_str(),
+                  fmt_double(s.max).c_str(), fmt_double(s.mean).c_str(),
+                  fmt_double(s.p50).c_str(), fmt_double(s.p95).c_str());
+    out += first ? "\n" : ",\n";
+    out += indent + "\"" + name + "\": " + buf;
+    first = false;
+  }
+  if (first) {
+    out += "}";
+  } else {
+    out += "\n";
+    if (indent.size() > 2) out += indent.substr(0, indent.size() - 2);
+    out += "}";
+  }
+  return out;
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry m;
+  return m;
+}
+
+}  // namespace msvm::obs

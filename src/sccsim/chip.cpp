@@ -3,6 +3,10 @@
 #include <cassert>
 #include <string>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/metrics.hpp"
+
 namespace msvm::scc {
 
 Chip::Chip(ChipConfig cfg)
@@ -12,9 +16,20 @@ Chip::Chip(ChipConfig cfg)
       gic_(cfg_.num_cores),
       faults_(cfg_.faults),
       watchdog_(sched_, cfg_.faults.watchdog_ps),
+      bus_(cfg_.num_cores),
       mc_busy_until_(Mesh::kNumMemControllers, 0) {
   assert(cfg_.num_cores >= 1 && cfg_.num_cores <= Mesh::kMaxCores);
   assert(cfg_.line_bytes <= 64);
+  // Apply the process-wide observability configuration (filled by the
+  // bench --trace/--metrics flags; default all-off and side-effect-free).
+  const obs::RuntimeConfig& ocfg = obs::runtime_config();
+  if (ocfg.categories != 0) bus_.enable(ocfg.categories);
+  if (ocfg.collect) {
+    obs::global_collector().begin_session(cfg_.num_cores);
+    bus_.attach(&obs::global_collector());
+  }
+  if (ocfg.heatmap) bus_.attach(&obs::global_heatmap());
+  watchdog_.bind_bus(&bus_);
   cores_.reserve(static_cast<std::size_t>(cfg_.num_cores));
   for (int i = 0; i < cfg_.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(*this, i));
@@ -27,6 +42,16 @@ Chip::Chip(ChipConfig cfg)
       sched_.wake(*actor, at + cfg_.ipi_wire_ps);
     }
   };
+}
+
+Chip::~Chip() {
+  if (!obs::runtime_config().metrics) return;
+  // Fold this chip's lifetime counters into the process-wide registry
+  // (the --metrics flag dumps it into BENCH_*.json at exit).
+  obs::MetricsRegistry& m = obs::global_metrics();
+  obs::fold_fields(m, "core", total_counters(), kCoreCounterFields);
+  m.observe("chip.makespan_ms",
+            static_cast<double>(makespan_) / 1e9);
 }
 
 void Chip::spawn_program(int core_id, std::function<void(Core&)> fn) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/bus.hpp"
 #include "sccsim/addrmap.hpp"
 #include "sccsim/config.hpp"
 #include "sccsim/core.hpp"
@@ -23,6 +24,7 @@ namespace msvm::scc {
 class Chip {
  public:
   explicit Chip(ChipConfig cfg);
+  ~Chip();
 
   Chip(const Chip&) = delete;
   Chip& operator=(const Chip&) = delete;
@@ -35,6 +37,12 @@ class Chip {
   sim::Scheduler& scheduler() { return sched_; }
   sim::FaultInjector& faults() { return faults_; }
   sim::Watchdog& watchdog() { return watchdog_; }
+
+  /// This chip's observability event bus (see obs/bus.hpp). Configured
+  /// from obs::runtime_config() at construction; with observability off
+  /// it only keeps the always-on per-core protocol rings.
+  obs::EventBus& bus() { return bus_; }
+  const obs::EventBus& bus() const { return bus_; }
 
   int num_cores() const { return cfg_.num_cores; }
   Core& core(int i) { return *cores_.at(static_cast<std::size_t>(i)); }
@@ -67,6 +75,7 @@ class Chip {
   sim::Scheduler sched_;
   sim::FaultInjector faults_;
   sim::Watchdog watchdog_;
+  obs::EventBus bus_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<TimePs> mc_busy_until_;
   TimePs makespan_ = 0;

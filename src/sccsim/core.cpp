@@ -59,6 +59,12 @@ void Core::boundary() {
     if (stall > 0) {
       actor_->advance(stall);
       counters_.busy_ps += stall;
+      obs::EventBus& bus = chip_.bus();
+      if (bus.enabled(obs::kCatChaos)) {
+        bus.publish(obs::Event{
+            actor_->clock(), static_cast<u64>(obs::InjectKind::kStall),
+            stall, 0, obs::EventKind::kFaultInject, id_});
+      }
     }
   }
   next_boundary_ = actor_->clock() + boundary_interval_ps_;
@@ -416,15 +422,32 @@ TimePs Core::device_latency(u64 paddr, bool is_write) {
   die("access to unmapped physical address", paddr);
 }
 
+void Core::publish_mem_event(u64 paddr, u32 size, bool is_write) {
+  const PhysTarget t = chip_.map().decode(paddr);
+  chip_.bus().publish(obs::Event{
+      actor_->clock(), paddr, size,
+      (static_cast<u64>(t.kind) << 8) | static_cast<u64>(t.owner & 0xff),
+      is_write ? obs::EventKind::kMemWrite : obs::EventKind::kMemRead,
+      id_});
+}
+
 TimePs Core::device_read(u64 paddr, void* out, u32 size) {
   const TimePs cost = device_latency(paddr, /*is_write=*/false);
   chip_.memory().read(paddr, out, size);
+  // kCatMem is the firehose category (--trace-mem): off even under a
+  // plain --trace, so the decode+publish never runs by default.
+  if (chip_.bus().enabled(obs::kCatMem)) {
+    publish_mem_event(paddr, size, /*is_write=*/false);
+  }
   return cost;
 }
 
 TimePs Core::device_write(u64 paddr, const void* src, u32 size) {
   const TimePs cost = device_latency(paddr, /*is_write=*/true);
   chip_.memory().write(paddr, src, size);
+  if (chip_.bus().enabled(obs::kCatMem)) {
+    publish_mem_event(paddr, size, /*is_write=*/true);
+  }
   return cost;
 }
 
@@ -450,6 +473,11 @@ void Core::flush_wcb() {
   ++counters_.wcb_flushes;
   tick(device_write_masked(flush->line_addr, flush->data, flush->size,
                            flush->dirty_mask));
+  obs::EventBus& bus = chip_.bus();
+  if (bus.enabled(obs::kCatSync)) {
+    bus.publish(obs::Event{actor_->clock(), flush->line_addr, flush->size,
+                           0, obs::EventKind::kWcbFlush, id_});
+  }
 }
 
 bool Core::tas_try_acquire(int reg) {
@@ -473,11 +501,28 @@ void Core::raise_ipi(int target) {
   const int hops = Mesh::hops_core_to_system_if(id_);
   tick(chip_.latency().gic_access(hops));
   ++counters_.ipis_sent;
+  obs::EventBus& bus = chip_.bus();
+  if (bus.enabled(obs::kCatSync)) {
+    bus.publish(obs::Event{actor_->clock(), static_cast<u64>(target), 0, 0,
+                           obs::EventKind::kIpiRaise, id_});
+  }
   sim::FaultInjector& faults = chip_.faults();
   if (faults.enabled()) {
-    if (faults.drop_ipi()) return;  // lost on the wire: no pending bit
+    if (faults.drop_ipi()) {  // lost on the wire: no pending bit
+      if (bus.enabled(obs::kCatChaos)) {
+        bus.publish(obs::Event{
+            actor_->clock(), static_cast<u64>(obs::InjectKind::kIpiDrop), 0,
+            0, obs::EventKind::kFaultInject, id_});
+      }
+      return;
+    }
     const TimePs extra = faults.ipi_extra_delay_ps();
     if (extra > 0) {
+      if (bus.enabled(obs::kCatChaos)) {
+        bus.publish(obs::Event{
+            actor_->clock(), static_cast<u64>(obs::InjectKind::kIpiDelay),
+            extra, 0, obs::EventKind::kFaultInject, id_});
+      }
       chip_.gic().raise_delayed(target, id_, actor_->clock(), extra);
       return;
     }

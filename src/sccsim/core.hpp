@@ -181,6 +181,10 @@ class Core {
                              u64 mask);
   TimePs device_latency(u64 paddr, bool is_write);
 
+  /// Emits a kMemRead/kMemWrite bus event for one device transaction
+  /// (--trace-mem firehose; callers gate on obs::kCatMem first).
+  void publish_mem_event(u64 paddr, u32 size, bool is_write);
+
   void deliver_interrupts();
   void deliver_deferred();
   void boundary();

@@ -48,40 +48,11 @@ struct CoreCounters {
   // virtual-time breakdown (picoseconds)
   TimePs busy_ps = 0;
 
-  /// Applies `op` to every field pair; single source of truth for the
-  /// field list used by both aggregation and differencing.
+  /// Applies `op` to every field pair by walking the field table below;
+  /// single source of truth for the field list used by aggregation,
+  /// differencing, and the metrics registry.
   template <typename Op>
-  void combine(const CoreCounters& o, Op op) {
-    op(loads, o.loads);
-    op(stores, o.stores);
-    op(l1_hits, o.l1_hits);
-    op(l1_misses, o.l1_misses);
-    op(l2_hits, o.l2_hits);
-    op(l2_misses, o.l2_misses);
-    op(wcb_merges, o.wcb_merges);
-    op(wcb_flushes, o.wcb_flushes);
-    op(dram_reads, o.dram_reads);
-    op(dram_writes, o.dram_writes);
-    op(mpb_reads, o.mpb_reads);
-    op(mpb_writes, o.mpb_writes);
-    op(uncached_ops, o.uncached_ops);
-    op(cl1invmb_count, o.cl1invmb_count);
-    op(tlb_hits, o.tlb_hits);
-    op(tlb_misses, o.tlb_misses);
-    op(tas_acquires, o.tas_acquires);
-    op(tas_spins, o.tas_spins);
-    op(page_faults, o.page_faults);
-    op(timer_irqs, o.timer_irqs);
-    op(ipi_irqs, o.ipi_irqs);
-    op(ipis_sent, o.ipis_sent);
-    op(svm_read_faults, o.svm_read_faults);
-    op(svm_write_faults, o.svm_write_faults);
-    op(svm_inval_sent, o.svm_inval_sent);
-    op(svm_inval_recv, o.svm_inval_recv);
-    op(svm_mail_roundtrips, o.svm_mail_roundtrips);
-    op(svm_fault_stall_ps, o.svm_fault_stall_ps);
-    op(busy_ps, o.busy_ps);
-  }
+  void combine(const CoreCounters& o, Op op);
 
   CoreCounters& operator+=(const CoreCounters& o) {
     combine(o, [](u64& a, const u64& b) { a += b; });
@@ -94,5 +65,53 @@ struct CoreCounters {
     return d;
   }
 };
+
+/// Self-description of CoreCounters: one entry per field, in declaration
+/// order. The observability metrics registry folds counters through this
+/// table ("core.loads", ...), and combine() walks it, so adding a field
+/// here is the only step needed to aggregate, difference, and export it.
+struct CoreCounterField {
+  const char* name;
+  u64 CoreCounters::*member;
+};
+
+inline constexpr CoreCounterField kCoreCounterFields[] = {
+    {"loads", &CoreCounters::loads},
+    {"stores", &CoreCounters::stores},
+    {"l1_hits", &CoreCounters::l1_hits},
+    {"l1_misses", &CoreCounters::l1_misses},
+    {"l2_hits", &CoreCounters::l2_hits},
+    {"l2_misses", &CoreCounters::l2_misses},
+    {"wcb_merges", &CoreCounters::wcb_merges},
+    {"wcb_flushes", &CoreCounters::wcb_flushes},
+    {"dram_reads", &CoreCounters::dram_reads},
+    {"dram_writes", &CoreCounters::dram_writes},
+    {"mpb_reads", &CoreCounters::mpb_reads},
+    {"mpb_writes", &CoreCounters::mpb_writes},
+    {"uncached_ops", &CoreCounters::uncached_ops},
+    {"cl1invmb_count", &CoreCounters::cl1invmb_count},
+    {"tlb_hits", &CoreCounters::tlb_hits},
+    {"tlb_misses", &CoreCounters::tlb_misses},
+    {"tas_acquires", &CoreCounters::tas_acquires},
+    {"tas_spins", &CoreCounters::tas_spins},
+    {"page_faults", &CoreCounters::page_faults},
+    {"timer_irqs", &CoreCounters::timer_irqs},
+    {"ipi_irqs", &CoreCounters::ipi_irqs},
+    {"ipis_sent", &CoreCounters::ipis_sent},
+    {"svm_read_faults", &CoreCounters::svm_read_faults},
+    {"svm_write_faults", &CoreCounters::svm_write_faults},
+    {"svm_inval_sent", &CoreCounters::svm_inval_sent},
+    {"svm_inval_recv", &CoreCounters::svm_inval_recv},
+    {"svm_mail_roundtrips", &CoreCounters::svm_mail_roundtrips},
+    {"svm_fault_stall_ps", &CoreCounters::svm_fault_stall_ps},
+    {"busy_ps", &CoreCounters::busy_ps},
+};
+
+template <typename Op>
+void CoreCounters::combine(const CoreCounters& o, Op op) {
+  for (const CoreCounterField& f : kCoreCounterFields) {
+    op(this->*(f.member), o.*(f.member));
+  }
+}
 
 }  // namespace msvm::scc

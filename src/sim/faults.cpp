@@ -201,6 +201,10 @@ bool Watchdog::check(TimePs now, TimePs since, const char* site,
 
   MSVM_LOG_ERROR("watchdog: hang detected by core %d at %s; stopping sim",
                  core_id, site);
+  if (bus_ != nullptr && bus_->enabled(obs::kCatChaos)) {
+    bus_->publish(obs::Event{now, static_cast<obs::u64>(core_id), 0, 0,
+                             obs::EventKind::kWatchdogTrip, -1});
+  }
   sched_.request_stop();
   return true;
 }

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bus.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/types.hpp"
@@ -217,8 +218,12 @@ class Watchdog {
   bool enabled() const { return limit_ > 0; }
   TimePs limit_ps() const { return limit_; }
 
+  /// Routes the trip event onto the chip's observability bus (the chip
+  /// binds its own bus at construction).
+  void bind_bus(obs::EventBus* bus) { bus_ = bus; }
+
   /// Registers a diagnostics section appended to the hang report (e.g.
-  /// the SVM runtime dumps owner vectors and its protocol TraceRing).
+  /// the SVM runtime dumps owner vectors and its protocol trace ring).
   void add_provider(std::function<void(std::string&)> fn) {
     providers_.push_back(std::move(fn));
   }
@@ -234,6 +239,7 @@ class Watchdog {
  private:
   Scheduler& sched_;
   TimePs limit_;
+  obs::EventBus* bus_ = nullptr;
   bool tripped_ = false;
   std::string report_;
   std::vector<std::function<void(std::string&)>> providers_;

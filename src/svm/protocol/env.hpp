@@ -13,14 +13,13 @@
 #pragma once
 
 #include "svm/protocol/meta.hpp"
-#include "svm/protocol/trace.hpp"
 #include "svm/protocol/types.hpp"
 
 namespace msvm::svm::proto {
 
-class ProtocolEnv {
+class ProtocolEnv : public TraceSink {
  public:
-  virtual ~ProtocolEnv() = default;
+  ~ProtocolEnv() override = default;
 
   /// This core's chip-wide id (the id protocol metadata speaks).
   virtual int self() const = 0;
@@ -31,8 +30,10 @@ class ProtocolEnv {
   /// Per-core protocol statistics to update.
   virtual SvmStats& stats() = 0;
 
-  /// Per-core protocol-event ring (dumped on errors / test failures).
-  virtual TraceRing& trace() = 0;
+  /// Protocol-event sink (inherited from TraceSink): the binding layer
+  /// forwards records to the observability event bus (which keeps the
+  /// per-core ring dumped on errors), the harness to a plain log.
+  ///   virtual void trace(const TraceEvent& e) = 0;
 
   // ---- transport ----
 

@@ -12,26 +12,9 @@
 // single choke point for transition tracing.
 #pragma once
 
-#include "svm/protocol/trace.hpp"
 #include "svm/protocol/types.hpp"
 
 namespace msvm::svm::proto {
-
-/// Which metadata word a MetaStore access targets.
-enum class MetaKind : u8 {
-  kOwner = 0,       // u16: owning core id
-  kScratchpad = 1,  // u16: frame number | kMigrateBit
-  kDirectory = 2,   // u64: sharer bitmask | kDirSharedBit
-};
-
-inline const char* to_string(MetaKind k) {
-  switch (k) {
-    case MetaKind::kOwner: return "owner";
-    case MetaKind::kScratchpad: return "scratchpad";
-    case MetaKind::kDirectory: return "dir";
-  }
-  return "?";
-}
 
 /// Raw word transport for protocol metadata. Values are passed as u64;
 /// 16-bit kinds use the low half (the store side truncates).
@@ -50,10 +33,10 @@ inline constexpr u16 kMigrateBit = 0x8000;
 inline constexpr u16 kFrameMask = 0x7fff;
 
 /// Typed facade over a MetaStore. Reads are free of side effects; every
-/// write is recorded in the (optional) trace ring.
+/// write is recorded through the (optional) trace sink.
 class MetaWord {
  public:
-  explicit MetaWord(MetaStore& store, TraceRing* trace = nullptr)
+  explicit MetaWord(MetaStore& store, TraceSink* trace = nullptr)
       : store_(store), trace_(trace) {}
 
   // ---- owner vector ----
@@ -85,13 +68,13 @@ class MetaWord {
   void write(MetaKind kind, u64 page, u64 value) {
     store_.store(kind, page, value);
     if (trace_ != nullptr) {
-      trace_->record(TraceEvent{TraceKind::kMetaWrite, page,
-                                static_cast<u64>(kind), value});
+      trace_->trace(TraceEvent{TraceKind::kMetaWrite, page,
+                               static_cast<u64>(kind), value});
     }
   }
 
   MetaStore& store_;
-  TraceRing* trace_;
+  TraceSink* trace_;
 };
 
 }  // namespace msvm::svm::proto

@@ -77,13 +77,14 @@ class CoherencePolicy {
 
  protected:
   /// Moves `page` to `next` in the local state machine, recording the
-  /// transition in the trace ring (host-side only, no simulated cost).
+  /// transition through the trace sink (host-side only, no simulated
+  /// cost).
   void transition(u64 page, PageState next, ProtocolEnv& env) {
     PageState& slot = state_[page];
     if (slot == next) return;
-    env.trace().record(TraceEvent{TraceKind::kTransition, page,
-                                  static_cast<u64>(slot),
-                                  static_cast<u64>(next)});
+    env.trace(TraceEvent{TraceKind::kTransition, page,
+                         static_cast<u64>(slot),
+                         static_cast<u64>(next)});
     slot = next;
   }
 

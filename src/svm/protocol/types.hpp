@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace msvm::svm::proto {
 
@@ -136,6 +138,32 @@ struct SvmStats {
   u64 dup_acks_dropped = 0;    // duplicate ACK mails discarded by dedup
 };
 
+/// Self-description of SvmStats: one entry per field, in declaration
+/// order. Aggregation (cluster report) and metrics export walk this
+/// table instead of hand-listing fields.
+struct SvmStatsField {
+  const char* name;
+  u64 SvmStats::*member;
+};
+
+inline constexpr SvmStatsField kSvmStatsFields[] = {
+    {"map_faults", &SvmStats::map_faults},
+    {"first_touch_allocs", &SvmStats::first_touch_allocs},
+    {"ownership_acquires", &SvmStats::ownership_acquires},
+    {"ownership_serves", &SvmStats::ownership_serves},
+    {"ownership_forwards", &SvmStats::ownership_forwards},
+    {"migrations", &SvmStats::migrations},
+    {"barriers", &SvmStats::barriers},
+    {"lock_acquires", &SvmStats::lock_acquires},
+    {"protect_calls", &SvmStats::protect_calls},
+    {"replica_installs", &SvmStats::replica_installs},
+    {"replica_grants", &SvmStats::replica_grants},
+    {"invalidations_sent", &SvmStats::invalidations_sent},
+    {"invalidations_received", &SvmStats::invalidations_received},
+    {"retransmits", &SvmStats::retransmits},
+    {"dup_acks_dropped", &SvmStats::dup_acks_dropped},
+};
+
 /// Hardware-counter events the protocol raises; the binding layer maps
 /// them onto scc::CoreCounters, the harness onto plain tallies.
 enum class HwEvent : u8 {
@@ -143,5 +171,99 @@ enum class HwEvent : u8 {
   kInvalSent,      // invalidation mails fanned out
   kInvalRecv,      // invalidation served (replica dropped)
 };
+
+/// Which metadata word a MetaStore access targets (see meta.hpp).
+/// Lives here so trace formatting can name metadata writes.
+enum class MetaKind : u8 {
+  kOwner = 0,       // u16: owning core id
+  kScratchpad = 1,  // u16: frame number | kMigrateBit
+  kDirectory = 2,   // u64: sharer bitmask | kDirSharedBit
+};
+
+inline const char* to_string(MetaKind k) {
+  switch (k) {
+    case MetaKind::kOwner: return "owner";
+    case MetaKind::kScratchpad: return "scratchpad";
+    case MetaKind::kDirectory: return "dir";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-event tracing. The protocol core describes what happened
+// (state transitions, message send/receive, metadata writes, fault
+// entries, in program order) and hands each record to a TraceSink; where
+// the records go — the observability event bus under the simulator, a
+// plain vector under the test harness — is the consumer's business.
+// (This seam replaced the bespoke per-core TraceRing that used to live
+// in protocol/trace.hpp.)
+
+enum class TraceKind : u8 {
+  kTransition = 0,  // a: old PageState, b: new PageState
+  kMsgSend = 1,     // a: MsgType, b: destination core (or multicast mask)
+  kMsgRecv = 2,     // a: MsgType, b: requester id
+  kMetaWrite = 3,   // a: MetaKind, b: value written
+  kFault = 4,       // a: 1 = write fault, b: fault-path tag
+};
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kTransition;
+  u64 page = 0;
+  u64 a = 0;
+  u64 b = 0;
+};
+
+/// Consumer seam for protocol-event records. ProtocolEnv derives from
+/// it, so policies call env.trace(...) and MetaWord can be handed the
+/// env as its sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void trace(const TraceEvent& e) = 0;
+};
+
+/// Renders one event ("page 12 Invalid -> OwnedRW", "page 3 send
+/// OwnershipReq -> core 5", ...). Kept in the protocol layer so every
+/// consumer (hang reports, the svm-trace section, test failures) prints
+/// the same text.
+inline std::string to_string(const TraceEvent& e) {
+  char buf[128];
+  switch (e.kind) {
+    case TraceKind::kTransition:
+      std::snprintf(buf, sizeof(buf), "page %llu %s -> %s",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<PageState>(e.a)),
+                    to_string(static_cast<PageState>(e.b)));
+      break;
+    case TraceKind::kMsgSend:
+      std::snprintf(buf, sizeof(buf), "page %llu send %s -> core %llu",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<MsgType>(e.a)),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceKind::kMsgRecv:
+      std::snprintf(buf, sizeof(buf), "page %llu recv %s (req by %llu)",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<MsgType>(e.a)),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceKind::kMetaWrite:
+      std::snprintf(buf, sizeof(buf), "page %llu %s := 0x%llx",
+                    static_cast<unsigned long long>(e.page),
+                    to_string(static_cast<MetaKind>(e.a)),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceKind::kFault:
+      std::snprintf(buf, sizeof(buf), "page %llu %s fault",
+                    static_cast<unsigned long long>(e.page),
+                    e.a != 0 ? "write" : "read");
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "page %llu ?",
+                    static_cast<unsigned long long>(e.page));
+      break;
+  }
+  return buf;
+}
 
 }  // namespace msvm::svm::proto

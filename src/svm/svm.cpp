@@ -46,7 +46,7 @@ Svm::~Svm() = default;
 
 const SvmStats& Svm::stats() const { return runtime_->stats(); }
 
-const proto::TraceRing& Svm::trace() const { return runtime_->trace(); }
+const obs::EventRing& Svm::trace() const { return runtime_->trace_ring(); }
 
 const proto::CoherencePolicy& Svm::policy() const {
   return runtime_->policy();
@@ -291,6 +291,11 @@ void Svm::lock_acquire(int lock_id) {
   opts.site_arg = static_cast<u64>(lock_id);
   kernel::spin_wait(core_, [&] { return core_.tas_try_acquire(reg); },
                     opts);
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatSync)) {
+    bus.publish(obs::Event{core_.now(), static_cast<u64>(lock_id), 0, 0,
+                           obs::EventKind::kLockAcquire, core_.id()});
+  }
   // Entering the critical section: see the lock holder's released data.
   runtime_->policy().on_acquire(*runtime_);
 }
@@ -299,6 +304,11 @@ void Svm::lock_release(int lock_id) {
   // Leaving: push our modifications down to memory.
   runtime_->policy().on_release(*runtime_);
   core_.tas_release(domain_.app_lock_reg(lock_id));
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatSync)) {
+    bus.publish(obs::Event{core_.now(), static_cast<u64>(lock_id), 0, 0,
+                           obs::EventKind::kLockRelease, core_.id()});
+  }
 }
 
 }  // namespace msvm::svm

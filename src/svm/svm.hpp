@@ -28,7 +28,7 @@
 //                   state machine, CoherencePolicy implementations
 //                   (StrongOwnerPolicy / ReadReplicationPolicy /
 //                   LrcPolicy), typed metadata ops (MetaWord) and the
-//                   transition trace ring. No sccsim/sim/mailbox
+//                   TraceSink event seam. No sccsim/sim/mailbox
 //                   includes (CI-enforced).
 //   svm_runtime.*   the binding layer: adapts page faults, mbox::Mail
 //                   traffic, CL1INVMB/WCB callbacks and the simulated
@@ -40,6 +40,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "kernel/kernel.hpp"
@@ -234,6 +235,14 @@ class SvmDomain {
 
 class SvmRuntime;
 
+/// Renders the protocol events of one per-core observability ring in the
+/// classic `svm-trace` text format: the newest `max_events` entries, one
+/// per line prefixed with `prefix`, preceded by a "... N earlier
+/// event(s)" line when the ring overflowed or was truncated.
+std::string proto_trace_dump(const obs::EventRing& ring,
+                             const char* prefix = "  ",
+                             std::size_t max_events = 32);
+
 /// Per-core SVM endpoint. Owns the binding layer (SvmRuntime) that
 /// installs itself as the kernel's SVM fault handler and as the mailbox
 /// handler for the protocol mail types, and the CoherencePolicy instance
@@ -248,9 +257,10 @@ class Svm {
   const SvmStats& stats() const;
 
   /// The per-core protocol-event ring (state transitions, messages,
-  /// metadata writes) — rendered by the cluster report's `svm-trace`
-  /// section and dumped on SvmProtectionError.
-  const proto::TraceRing& trace() const;
+  /// metadata writes) on the chip's observability bus — rendered by the
+  /// cluster report's `svm-trace` section and dumped on
+  /// SvmProtectionError. Format with proto_trace_dump().
+  const obs::EventRing& trace() const;
 
   /// The coherence policy driving this endpoint's page state machine.
   const proto::CoherencePolicy& policy() const;

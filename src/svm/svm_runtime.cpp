@@ -20,6 +20,19 @@ using proto::kMigrateBit;
   std::abort();
 }
 
+// The bridge converts protocol TraceKind values to obs::EventKind by
+// cast; the enumerators are defined to line up.
+static_assert(static_cast<int>(proto::TraceKind::kTransition) ==
+              static_cast<int>(obs::EventKind::kProtoTransition));
+static_assert(static_cast<int>(proto::TraceKind::kMsgSend) ==
+              static_cast<int>(obs::EventKind::kProtoMsgSend));
+static_assert(static_cast<int>(proto::TraceKind::kMsgRecv) ==
+              static_cast<int>(obs::EventKind::kProtoMsgRecv));
+static_assert(static_cast<int>(proto::TraceKind::kMetaWrite) ==
+              static_cast<int>(obs::EventKind::kProtoMetaWrite));
+static_assert(static_cast<int>(proto::TraceKind::kFault) ==
+              static_cast<int>(obs::EventKind::kProtoFault));
+
 std::unique_ptr<proto::CoherencePolicy> make_policy(const SvmConfig& cfg) {
   proto::PolicyConfig pcfg;
   pcfg.ack_via_mail = cfg.ack_via_mail;
@@ -52,6 +65,31 @@ class FaultStallScope {
   TimePs t0_;
 };
 
+/// Publishes a begin/end event pair around a scope; the RAII end also
+/// covers exceptional exits (SvmProtectionError, watchdog-park unwind),
+/// so a Chrome-trace slice is always closed. Constructed only when the
+/// relevant category is enabled.
+class SpanScope {
+ public:
+  SpanScope(scc::Core& core, obs::EventKind begin, obs::EventKind end,
+            u64 a, u64 b, u64 c)
+      : core_(core), end_(end), a_(a), b_(b), c_(c) {
+    core_.chip().bus().publish(
+        obs::Event{core_.now(), a_, b_, c_, begin, core_.id()});
+  }
+  ~SpanScope() {
+    core_.chip().bus().publish(
+        obs::Event{core_.now(), a_, b_, c_, end_, core_.id()});
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  scc::Core& core_;
+  obs::EventKind end_;
+  u64 a_, b_, c_;
+};
+
 }  // namespace
 
 SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
@@ -60,7 +98,7 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
       mbox_(mbox),
       domain_(domain),
       core_(kernel.core()),
-      meta_word_(*this, &trace_),
+      meta_word_(*this, this),
       policy_(make_policy(domain.config())) {
   kernel_.set_svm_fault_handler(
       [this](u64 vaddr, bool is_write) { handle_fault(vaddr, is_write); });
@@ -81,6 +119,44 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
                     [this](const mbox::Mail& m) { on_ack_mail(m); });
   mbox_.set_handler(kMailInvalAck,
                     [this](const mbox::Mail& m) { on_ack_mail(m); });
+}
+
+void SvmRuntime::trace(const proto::TraceEvent& e) {
+  // Stamp with this core's virtual clock and publish; the bus keeps the
+  // event in this core's always-on ring and fans it out to any attached
+  // sinks (trace collector, heatmap).
+  core_.chip().bus().publish(obs::Event{
+      core_.now(), e.page, static_cast<u64>(e.a), static_cast<u64>(e.b),
+      static_cast<obs::EventKind>(e.kind), core_.id()});
+}
+
+const obs::EventRing& SvmRuntime::trace_ring() const {
+  return core_.chip().bus().ring(core_.id());
+}
+
+std::string proto_trace_dump(const obs::EventRing& ring,
+                             const char* prefix, std::size_t max_events) {
+  const std::vector<obs::Event> events = ring.snapshot();
+  const std::size_t n = events.size();
+  const std::size_t first = n > max_events ? n - max_events : 0;
+  std::string out;
+  if (ring.recorded() > n || first > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "... %llu earlier event(s)\n",
+                  static_cast<unsigned long long>(ring.recorded() -
+                                                  (n - first)));
+    out += prefix;
+    out += buf;
+  }
+  for (std::size_t i = first; i < n; ++i) {
+    const obs::Event& e = events[i];
+    const proto::TraceEvent te{static_cast<proto::TraceKind>(e.kind),
+                               e.a, e.b, e.c};
+    out += prefix;
+    out += proto::to_string(te);
+    out += '\n';
+  }
+  return out;
 }
 
 u64 SvmRuntime::page_index_of(u64 vaddr) const {
@@ -128,7 +204,7 @@ void SvmRuntime::append_hang_report(std::string& out) {
         owner_word);
     out += buf;
   }
-  out += trace_.dump("  svm-trace: ");
+  out += proto_trace_dump(trace_ring(), "  svm-trace: ");
 }
 
 // ---------------------------------------------------------------------------
@@ -137,9 +213,15 @@ void SvmRuntime::append_hang_report(std::string& out) {
 void SvmRuntime::dispatch_mail(const mbox::Mail& mail) {
   const proto::Msg msg{static_cast<proto::MsgType>(mail.type), mail.p0,
                        static_cast<int>(mail.p1)};
-  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
-                                  static_cast<u64>(msg.type),
-                                  static_cast<u64>(msg.requester)});
+  trace(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
+                          static_cast<u64>(msg.type),
+                          static_cast<u64>(msg.requester)});
+  std::optional<SpanScope> serve_span;
+  if (core_.chip().bus().enabled(obs::kCatSvm)) {
+    serve_span.emplace(core_, obs::EventKind::kServeBegin,
+                       obs::EventKind::kServeEnd, msg.page,
+                       static_cast<u64>(mail.type), mail.arg16);
+  }
   // While serving this request, every mail we emit for it — the ACK, or
   // a forward along the ownership chain — echoes its sequence number, so
   // the originator's bounded wait matches the eventual ACK no matter how
@@ -165,8 +247,14 @@ void SvmRuntime::handle_fault(u64 vaddr, bool is_write) {
   }
   FaultStallScope stall(core_);
   const u64 page_idx = page_index_of(vaddr);
-  trace_.record(proto::TraceEvent{proto::TraceKind::kFault, page_idx,
-                                  is_write ? u64{1} : u64{0}, 0});
+  trace(proto::TraceEvent{proto::TraceKind::kFault, page_idx,
+                          is_write ? u64{1} : u64{0}, 0});
+  std::optional<SpanScope> fault_span;
+  if (core_.chip().bus().enabled(obs::kCatSvm)) {
+    fault_span.emplace(core_, obs::EventKind::kFaultBegin,
+                       obs::EventKind::kFaultEnd, page_idx,
+                       is_write ? u64{1} : u64{0}, 0);
+  }
   RegionAttrs* region = region_of(vaddr);
   if (region == nullptr) {
     std::fprintf(stderr,
@@ -181,7 +269,7 @@ void SvmRuntime::handle_fault(u64 vaddr, bool is_write) {
                  "svm (core %d): write to read-only region at 0x%llx; "
                  "last protocol events:\n%s",
                  core_.id(), static_cast<unsigned long long>(vaddr),
-                 trace_.dump("  svm-trace: ").c_str());
+                 proto_trace_dump(trace_ring(), "  svm-trace: ").c_str());
     throw SvmProtectionError(vaddr);
   }
 
@@ -388,9 +476,9 @@ u64 ack_key(const mbox::Mail& m) {
 }  // namespace
 
 void SvmRuntime::send(int dest, const proto::Msg& m) {
-  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
-                                  static_cast<u64>(m.type),
-                                  static_cast<u64>(dest)});
+  trace(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
+                          static_cast<u64>(m.type),
+                          static_cast<u64>(dest)});
   mbox::Mail mail;
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
@@ -410,8 +498,8 @@ void SvmRuntime::send(int dest, const proto::Msg& m) {
 }
 
 int SvmRuntime::multicast(u64 dest_mask, const proto::Msg& m) {
-  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
-                                  static_cast<u64>(m.type), dest_mask});
+  trace(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
+                          static_cast<u64>(m.type), dest_mask});
   mbox::Mail mail;
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
@@ -433,10 +521,17 @@ void SvmRuntime::retransmit_pending() {
     // would. (try_send re-raises the IPI when it deposits.)
     if (mbox_.try_send(dest, pending_->mail)) {
       ++stats_.retransmits;
-      trace_.record(proto::TraceEvent{proto::TraceKind::kMsgSend,
-                                      pending_->page,
-                                      static_cast<u64>(pending_->mail.type),
-                                      static_cast<u64>(dest)});
+      trace(proto::TraceEvent{proto::TraceKind::kMsgSend, pending_->page,
+                              static_cast<u64>(pending_->mail.type),
+                              static_cast<u64>(dest)});
+      obs::EventBus& bus = core_.chip().bus();
+      if (bus.enabled(obs::kCatMail)) {
+        bus.publish(obs::Event{
+            core_.now(), static_cast<u64>(dest),
+            obs::pack_mail(pending_->mail.type, pending_->seq,
+                           static_cast<obs::u8>(core_.id())),
+            pending_->page, obs::EventKind::kMailRetransmit, core_.id()});
+      }
       MSVM_LOG_INFO("core %d: retransmit type=0x%x page=%llu seq=%u -> %d",
                     core_.id(), pending_->mail.type,
                     static_cast<unsigned long long>(pending_->page),
@@ -515,9 +610,9 @@ proto::Msg SvmRuntime::wait_match(proto::MsgType type, u64 page) {
     }
   }
   const proto::Msg msg{type, mail.p0, static_cast<int>(mail.p1)};
-  trace_.record(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
-                                  static_cast<u64>(msg.type),
-                                  static_cast<u64>(msg.requester)});
+  trace(proto::TraceEvent{proto::TraceKind::kMsgRecv, msg.page,
+                          static_cast<u64>(msg.type),
+                          static_cast<u64>(msg.requester)});
   return msg;
 }
 

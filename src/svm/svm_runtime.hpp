@@ -51,9 +51,12 @@ class SvmRuntime final : public proto::ProtocolEnv,
   void handle_fault(u64 vaddr, bool is_write);
 
   /// Appends this core's SVM diagnostics (stats, in-flight request,
-  /// owner-vector word of the contended page, protocol TraceRing) to a
+  /// owner-vector word of the contended page, protocol event ring) to a
   /// watchdog hang report. Reads simulated memory host-side, cost-free.
   void append_hang_report(std::string& out);
+
+  /// This core's protocol-event ring on the chip's observability bus.
+  const obs::EventRing& trace_ring() const;
 
   // ---- helpers shared with the Svm collectives ----
 
@@ -66,7 +69,10 @@ class SvmRuntime final : public proto::ProtocolEnv,
   int self() const override { return core_.id(); }
   proto::MetaWord& meta() override { return meta_word_; }
   proto::SvmStats& stats() override { return stats_; }
-  proto::TraceRing& trace() override { return trace_; }
+  /// TraceSink: stamps the record with this core's virtual clock and
+  /// publishes it on the chip's observability bus (which keeps it in
+  /// this core's ring and fans it out to any attached sinks).
+  void trace(const proto::TraceEvent& e) override;
   void send(int dest, const proto::Msg& m) override;
   int multicast(u64 dest_mask, const proto::Msg& m) override;
   proto::Msg wait_match(proto::MsgType type, u64 page) override;
@@ -132,7 +138,6 @@ class SvmRuntime final : public proto::ProtocolEnv,
   SvmDomain& domain_;
   scc::Core& core_;
 
-  proto::TraceRing trace_;
   proto::MetaWord meta_word_;
   proto::SvmStats stats_;
   std::unique_ptr<proto::CoherencePolicy> policy_;

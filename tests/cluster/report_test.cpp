@@ -90,7 +90,7 @@ TEST(Report, SvmTraceSectionWhenRequested) {
   const std::string report = format_report(cl, options);
   EXPECT_NE(report.find("svm-trace core 0"), std::string::npos);
   EXPECT_NE(report.find("svm-trace core 1"), std::string::npos);
-  // Ring contents render through TraceRing::dump — state transitions and
+  // Ring contents render through svm::proto_trace_dump — transitions and
   // metadata writes of the ownership protocol.
   EXPECT_NE(report.find("OwnedRW"), std::string::npos);
   EXPECT_NE(report.find("owner :="), std::string::npos);

@@ -1,0 +1,233 @@
+// Chrome-trace exporter schema test: a 2-core strong-model ping-pong run
+// is exported and the JSON is checked structurally — balanced braces,
+// monotone timestamps per track, matched B/E slice pairs, and flow ids
+// that resolve start-to-finish (every page-fault round trip is one
+// clickable chain in Perfetto).
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "obs/bus.hpp"
+#include "obs/heatmap.hpp"
+
+namespace msvm::obs {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::Node;
+
+/// Turns the full observability pipeline on for one scope and restores
+/// the all-off default (and empty global sinks) afterwards, so the other
+/// tests in this binary — and this process's other runs — start clean.
+struct ObsScope {
+  ObsScope(u32 categories, bool collect, bool heatmap) {
+    RuntimeConfig& cfg = runtime_config();
+    cfg.categories = categories;
+    cfg.collect = collect;
+    cfg.heatmap = heatmap;
+    global_collector().clear();
+    global_heatmap().clear();
+  }
+  ~ObsScope() {
+    runtime_config() = RuntimeConfig{};
+    global_collector().clear();
+    global_heatmap().clear();
+  }
+};
+
+/// Two cores bouncing writes on one shared page: every round is a write
+/// fault, an ownership request mail, a serve on the old owner and an ACK
+/// back — the richest small event stream the exporter handles.
+void run_ping_pong(int rounds) {
+  ClusterConfig cfg;
+  cfg.chip.num_cores = 2;
+  cfg.chip.shared_dram_bytes = 16 << 20;
+  cfg.chip.private_dram_bytes = 1 << 20;
+  cfg.svm.model = svm::Model::kStrong;
+  Cluster cl(cfg);
+  cl.run([&](Node& n) {
+    const u64 base = n.svm().alloc(4096);
+    for (int i = 0; i < rounds; ++i) {
+      if (n.rank() == i % 2) {
+        n.svm().write<u64>(base, static_cast<u64>(i + 1));
+      }
+      n.svm().barrier();
+    }
+  });
+}
+
+/// One JSON record per line in the exporter's output; the scanner below
+/// relies on that (and on record field values containing no braces).
+std::vector<std::string> records(const std::string& json) {
+  std::vector<std::string> out;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find('{');
+    if (start == std::string::npos) continue;
+    if (line.find("\"ph\":") == std::string::npos) continue;  // header
+    out.push_back(line.substr(start));
+  }
+  return out;
+}
+
+/// Raw token after `"key":` up to the next top-level ',' or '}'.
+std::string raw_field(const std::string& rec, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = rec.find(needle);
+  if (pos == std::string::npos) return "";
+  std::size_t end = pos + needle.size();
+  int depth = 0;
+  while (end < rec.size()) {
+    const char ch = rec[end];
+    if (ch == '{') ++depth;
+    if (ch == '}') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (ch == ',' && depth == 0) break;
+    ++end;
+  }
+  return rec.substr(pos + needle.size(), end - pos - needle.size());
+}
+
+std::string ph_of(const std::string& rec) {
+  const std::string raw = raw_field(rec, "ph");
+  return raw.size() >= 2 ? raw.substr(1, raw.size() - 2) : raw;
+}
+
+TEST(ChromeTrace, PingPongExportPassesSchemaChecks) {
+  std::string json;
+  {
+    ObsScope obs(kCatTrace, /*collect=*/true, /*heatmap=*/false);
+    run_ping_pong(6);
+    ASSERT_FALSE(global_collector().empty());
+    EXPECT_EQ(global_collector().dropped(), 0u);
+    json = chrome_trace_json(global_collector());
+  }
+
+  // Balanced braces and brackets (no string the exporter emits contains
+  // either, so plain counting is a sound well-formedness check).
+  int braces = 0;
+  int brackets = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const std::vector<std::string> recs = records(json);
+  ASSERT_GT(recs.size(), 10u);
+
+  std::map<int, double> last_ts;       // per-track timestamp monotony
+  std::map<int, int> slice_depth;      // per-track B/E nesting
+  std::set<long long> flow_starts;
+  std::set<long long> flow_steps;
+  std::set<long long> flow_ends;
+  bool saw_fault_slice = false;
+  bool saw_thread_names = false;
+
+  for (const std::string& rec : recs) {
+    const std::string ph = ph_of(rec);
+    ASSERT_FALSE(ph.empty()) << rec;
+    if (ph == "M") {
+      saw_thread_names = true;
+      continue;
+    }
+    const int tid = std::stoi(raw_field(rec, "tid"));
+    const double ts = std::stod(raw_field(rec, "ts"));
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "track " << tid << " went backwards";
+    }
+    last_ts[tid] = ts;
+
+    if (ph == "B") {
+      ++slice_depth[tid];
+      if (raw_field(rec, "name") == "\"svm-fault\"") {
+        saw_fault_slice = true;
+      }
+    } else if (ph == "E") {
+      --slice_depth[tid];
+      ASSERT_GE(slice_depth[tid], 0) << "E without B on track " << tid;
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      const long long id = std::stoll(raw_field(rec, "id"));
+      if (ph == "s") flow_starts.insert(id);
+      if (ph == "t") flow_steps.insert(id);
+      if (ph == "f") flow_ends.insert(id);
+    }
+  }
+
+  EXPECT_TRUE(saw_thread_names);
+  EXPECT_TRUE(saw_fault_slice);  // the ping-pong faulted at least once
+  for (const auto& [tid, depth] : slice_depth) {
+    EXPECT_EQ(depth, 0) << "unmatched B on track " << tid;
+  }
+
+  // Every request flow that starts also steps through the owner and
+  // terminates at the requester's ACK delivery — one complete chain per
+  // page-fault round trip.
+  ASSERT_FALSE(flow_starts.empty());
+  for (const long long id : flow_starts) {
+    EXPECT_TRUE(flow_steps.count(id)) << "flow " << id << " never stepped";
+    EXPECT_TRUE(flow_ends.count(id)) << "flow " << id << " never ended";
+  }
+}
+
+TEST(ChromeTrace, WriterProducesTheLoadableFile) {
+  {
+    ObsScope obs(kCatTrace, /*collect=*/true, /*heatmap=*/false);
+    run_ping_pong(2);
+    ASSERT_TRUE(write_chrome_trace(global_collector(), "obs_test.json"));
+  }
+  std::FILE* f = std::fopen("obs_test.json", "rb");
+  ASSERT_NE(f, nullptr);
+  char head[32] = {};
+  const std::size_t n = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  std::remove("obs_test.json");
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(std::string(head).rfind("{\"displayTimeUnit\"", 0), 0u);
+}
+
+TEST(Heatmap, PingPongLightsUpTheBouncedPage) {
+  {
+    ObsScope obs(/*categories=*/0, /*collect=*/false, /*heatmap=*/true);
+    run_ping_pong(6);
+
+    const PageHeatmap& h = global_heatmap();
+    ASSERT_FALSE(h.empty());
+    ASSERT_TRUE(h.pages().count(0));  // page 0 of the SVM arena bounced
+    const PageHeatmap::PageStats& s = h.pages().at(0);
+    EXPECT_GE(s.write_faults, 4u);  // one per handoff round
+    EXPECT_GE(s.transfers, 4u);     // ownership moved every round
+    EXPECT_EQ(s.replica_grants, 0u);  // strong model: no replicas
+
+    const std::string table = h.table(1, "> ");
+    EXPECT_EQ(table.rfind("> page", 0), 0u);
+    EXPECT_NE(table.find("transfers"), std::string::npos);
+
+    const std::string json = h.to_json();
+    EXPECT_NE(json.find("\"pages\""), std::string::npos);
+    EXPECT_NE(json.find("\"write_faults\""), std::string::npos);
+  }
+  EXPECT_TRUE(global_heatmap().empty());  // the scope cleaned up
+}
+
+}  // namespace
+}  // namespace msvm::obs

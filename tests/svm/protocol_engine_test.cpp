@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "protocol_harness.hpp"
 #include "svm/protocol/policy.hpp"
@@ -344,7 +345,9 @@ TEST(ProtocolLrc, DisjointWritesToOnePageMerge) {
 }
 
 // ---------------------------------------------------------------------------
-// Trace ring
+// Trace seam (TraceSink): the protocol layer narrates every fault,
+// message, transition and metadata write to its environment. The bounded
+// ring that used to live here moved to obs::EventRing (tests/obs).
 
 TEST(ProtocolTrace, RecordsFaultsMessagesAndTransitions) {
   Harness h(2, Model::kStrong);
@@ -364,24 +367,6 @@ TEST(ProtocolTrace, RecordsFaultsMessagesAndTransitions) {
   EXPECT_NE(server.find("owner := 0x1"), std::string::npos);
 }
 
-TEST(ProtocolTrace, RingKeepsNewestEventsAndCountsOverflow) {
-  proto::TraceRing ring(4);
-  for (u64 i = 0; i < 10; ++i) {
-    ring.record(proto::TraceEvent{proto::TraceKind::kFault, i, 1, 0});
-  }
-  EXPECT_EQ(ring.recorded(), 10u);
-  EXPECT_EQ(ring.size(), 4u);
-
-  const auto events = ring.snapshot();
-  ASSERT_EQ(events.size(), 4u);
-  EXPECT_EQ(events.front().page, 6u);  // oldest survivor
-  EXPECT_EQ(events.back().page, 9u);   // newest
-
-  const std::string text = ring.dump("| ");
-  EXPECT_NE(text.find("| ... 6 earlier event(s)"), std::string::npos);
-  EXPECT_NE(text.find("| page 9 write fault"), std::string::npos);
-}
-
 TEST(ProtocolTrace, MetaWordRecordsEveryWrite) {
   struct ToyStore final : proto::MetaStore {
     u64 words[3][16] = {};
@@ -393,9 +378,16 @@ TEST(ProtocolTrace, MetaWordRecordsEveryWrite) {
     }
   };
 
+  struct VecSink final : proto::TraceSink {
+    std::vector<proto::TraceEvent> events;
+    void trace(const proto::TraceEvent& e) override {
+      events.push_back(e);
+    }
+  };
+
   ToyStore store;
-  proto::TraceRing ring(8);
-  proto::MetaWord meta(store, &ring);
+  VecSink sink;
+  proto::MetaWord meta(store, &sink);
 
   meta.set_owner(3, 7);
   meta.set_scratchpad(1, proto::kMigrateBit | 5);
@@ -404,14 +396,12 @@ TEST(ProtocolTrace, MetaWordRecordsEveryWrite) {
   EXPECT_EQ(meta.owner(3), 7);
   EXPECT_EQ(meta.frame_of(1), 5);  // migrate bit masked off
   EXPECT_EQ(meta.dir(2), kDirSharedBit | dir_bit(4));
-  EXPECT_EQ(ring.recorded(), 3u);  // reads are not traced
 
-  const auto events = ring.snapshot();
-  ASSERT_EQ(events.size(), 3u);
-  EXPECT_EQ(events[0].kind, proto::TraceKind::kMetaWrite);
-  EXPECT_EQ(events[0].page, 3u);
-  EXPECT_EQ(events[0].a, static_cast<u64>(proto::MetaKind::kOwner));
-  EXPECT_EQ(events[0].b, 7u);
+  ASSERT_EQ(sink.events.size(), 3u);  // reads are not traced
+  EXPECT_EQ(sink.events[0].kind, proto::TraceKind::kMetaWrite);
+  EXPECT_EQ(sink.events[0].page, 3u);
+  EXPECT_EQ(sink.events[0].a, static_cast<u64>(proto::MetaKind::kOwner));
+  EXPECT_EQ(sink.events[0].b, 7u);
 }
 
 }  // namespace

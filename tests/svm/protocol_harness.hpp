@@ -48,6 +48,26 @@ struct HarnessError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Unbounded per-core event log — the harness's TraceSink backing store.
+/// Tests inspect the raw events or a text dump (one to_string'd event
+/// per line, each prefixed with `prefix`).
+struct TraceLog {
+  std::vector<proto::TraceEvent> events;
+
+  void record(const proto::TraceEvent& e) { events.push_back(e); }
+  std::size_t size() const { return events.size(); }
+
+  std::string dump(const char* prefix = "  ") const {
+    std::string out;
+    for (const proto::TraceEvent& e : events) {
+      out += prefix;
+      out += proto::to_string(e);
+      out += '\n';
+    }
+    return out;
+  }
+};
+
 class Harness final : public proto::MetaStore {
  public:
   Harness(int num_cores, Model model, PolicyConfig cfg = {})
@@ -132,7 +152,7 @@ class Harness final : public proto::MetaStore {
 
   proto::CoherencePolicy& policy(int id) { return *core(id).policy; }
   proto::SvmStats& stats(int id) { return core(id).stats; }
-  proto::TraceRing& trace(int id) { return core(id).trace; }
+  TraceLog& trace(int id) { return core(id).trace; }
   PageState state_of(int id, u64 page) const {
     return cores_[static_cast<std::size_t>(id)]->policy->state_of(page);
   }
@@ -211,7 +231,7 @@ class Harness final : public proto::MetaStore {
     Core(Harness& h, int id, Model model, PolicyConfig cfg);
 
     std::unique_ptr<proto::CoherencePolicy> policy;
-    proto::TraceRing trace{64};
+    TraceLog trace;
     proto::SvmStats stats;
     std::unique_ptr<CoreEnv> env;
     proto::MetaWord meta;
@@ -235,7 +255,9 @@ class Harness final : public proto::MetaStore {
     int self() const override { return id_; }
     proto::MetaWord& meta() override { return h_.core(id_).meta; }
     proto::SvmStats& stats() override { return h_.core(id_).stats; }
-    proto::TraceRing& trace() override { return h_.core(id_).trace; }
+    void trace(const proto::TraceEvent& e) override {
+      h_.core(id_).trace.record(e);
+    }
 
     void send(int dest, const Msg& m) override {
       h_.core(id_).trace.record(
@@ -433,7 +455,7 @@ class Harness final : public proto::MetaStore {
 
 inline Harness::Core::Core(Harness& h, int id, Model model,
                            PolicyConfig cfg)
-    : env(std::make_unique<CoreEnv>(h, id)), meta(h, &trace) {
+    : env(std::make_unique<CoreEnv>(h, id)), meta(h, env.get()) {
   switch (model) {
     case Model::kStrong:
       policy = std::make_unique<proto::StrongOwnerPolicy>(cfg);

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Perf-regression gate: compares freshly generated BENCH_*.json medians
+# against the checked-in baselines in bench/baselines/ and fails if any
+# series median regressed by more than 5%.
+#
+# All gated series are times (us/ms medians of deterministic virtual-time
+# runs), so "higher median" always means "slower". The simulator's
+# virtual clock makes the numbers machine-independent: a clean build
+# reproduces the baselines exactly, and the 5% margin only exists so an
+# intentional remodelling (documented, with refreshed baselines) is the
+# one way the numbers move.
+#
+# Usage: check_perf_regression.sh [baseline_dir] [candidate_dir]
+#   baseline_dir   defaults to bench/baselines (relative to the repo root)
+#   candidate_dir  defaults to build/bench (where the bench binaries ran)
+set -u
+
+BASE_DIR=${1:-bench/baselines}
+CAND_DIR=${2:-build/bench}
+TOLERANCE=${PERF_GATE_TOLERANCE:-1.05}
+
+status=0
+checked=0
+
+for base in "$BASE_DIR"/BENCH_*.json; do
+  [ -e "$base" ] || {
+    echo "perf-gate: no baselines under $BASE_DIR" >&2
+    exit 1
+  }
+  name=$(basename "$base")
+  cand="$CAND_DIR/$name"
+  if [ ! -f "$cand" ]; then
+    echo "perf-gate: FAIL $name: candidate missing (bench not run?)" >&2
+    status=1
+    continue
+  fi
+  # Series lines look like:
+  #   "strong_ms": {"count": 9, "median": 4.70232, "p95": 4.93}
+  # First pass (FNR==NR) collects baseline medians, second compares.
+  if ! awk -v tol="$TOLERANCE" -v file="$name" '
+    /"median":/ {
+      if (match($0, /"[A-Za-z0-9_.]+": *\{"count"/)) {
+        series = substr($0, RSTART + 1)
+        sub(/": *\{"count".*/, "", series)
+        if (match($0, /"median": *[-+0-9.eE]+/)) {
+          med = substr($0, RSTART, RLENGTH)
+          sub(/"median": */, "", med)
+          if (NR == FNR) {
+            base[series] = med + 0
+          } else if (series in base) {
+            seen[series] = 1
+            b = base[series]
+            c = med + 0
+            if (b > 0 && c > b * tol) {
+              printf "perf-gate: FAIL %s %s: median %g -> %g (+%.1f%%)\n",
+                     file, series, b, c, (c / b - 1) * 100
+              bad = 1
+            } else {
+              printf "perf-gate: ok   %s %-24s %g -> %g\n",
+                     file, series, b, c
+            }
+          }
+        }
+      }
+    }
+    END {
+      for (s in base) {
+        if (!(s in seen)) {
+          printf "perf-gate: FAIL %s %s: series missing from candidate\n",
+                 file, s
+          bad = 1
+        }
+      }
+      exit bad
+    }' "$base" "$cand"; then
+    status=1
+  fi
+  checked=$((checked + 1))
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "perf-gate: no BENCH_*.json compared" >&2
+  exit 1
+fi
+[ "$status" -eq 0 ] && echo "perf-gate: all $checked bench file(s) within ${TOLERANCE}x"
+exit $status
