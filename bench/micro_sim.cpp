@@ -5,6 +5,11 @@
 // usability for the repo's larger experiments.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "mailbox/mailbox.hpp"
 #include "sccsim/chip.hpp"
 #include "sim/fiber.hpp"
 #include "sim/scheduler.hpp"
@@ -107,6 +112,129 @@ void BM_CacheFillEvictSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheFillEvictSweep);
+
+void BM_SchedulerHeapChurn(benchmark::State& state) {
+  // Block/wake churn across many actors: sleepers park on timeouts while
+  // a storm actor re-keys random subsets — the workload that exposed the
+  // old scheduler's stale-entry (tombstone) growth, where every wake
+  // pushed a fresh heap entry and left the superseded one to be popped
+  // and skipped later.
+  constexpr int kSleepers = 64;
+  constexpr u64 kRounds = 100;
+  u64 ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Scheduler sched;
+    std::vector<sim::Actor*> sleepers;
+    for (int i = 0; i < kSleepers; ++i) {
+      sleepers.push_back(&sched.spawn("sleeper", [&sched] {
+        while (sched.current()->clock() < 500'000) {
+          (void)sched.block_until(sched.current()->clock() + 10'000);
+        }
+      }));
+    }
+    sched.spawn("storm", [&] {
+      u32 lcg = 0xdecafu;
+      for (u64 r = 0; r < kRounds; ++r) {
+        for (int k = 0; k < kSleepers * 4; ++k) {
+          lcg = lcg * 1664525u + 1013904223u;
+          sched.wake(*sleepers[lcg % kSleepers],
+                     sched.current()->clock() + 1 + lcg % 97);
+          ++ops;
+        }
+        sched.current()->advance(4'000);
+        sched.yield();
+      }
+    });
+    state.ResumeTiming();
+    sched.run();
+  }
+  state.SetItemsProcessed(static_cast<i64>(ops));
+}
+BENCHMARK(BM_SchedulerHeapChurn);
+
+void BM_VloadL1Miss(benchmark::State& state) {
+  // Sweep a footprint 4x the L1 so every load misses and pays the full
+  // mesh/DRAM pipeline plus the line fill — the slow-path complement of
+  // BM_VloadL1Hit.
+  scc::ChipConfig cfg;
+  cfg.num_cores = 1;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 1 << 20;
+  scc::Chip chip(cfg);
+  u64 accesses = 0;
+  chip.spawn_program(0, [&](scc::Core& core) {
+    const u64 pages = 16;  // 64 KiB footprint vs 16 KiB L1
+    for (u64 p = 0; p < pages; ++p) {
+      scc::Pte pte;
+      pte.frame_paddr = scc::kSharedBase + p * cfg.page_bytes;
+      pte.present = true;
+      pte.writable = true;
+      pte.mpbt = true;
+      core.pagetable().map(scc::kSvmVBase + p * cfg.page_bytes, pte);
+    }
+    const u64 footprint = pages * cfg.page_bytes;
+    u64 off = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core.vload<u64>(scc::kSvmVBase + off));
+      off = (off + cfg.line_bytes) % footprint;
+      ++accesses;
+    }
+  });
+  chip.run();
+  state.SetItemsProcessed(static_cast<i64>(accesses));
+}
+BENCHMARK(BM_VloadL1Miss);
+
+void BM_MailRoundTrip(benchmark::State& state) {
+  // Full mailbox round trip between two cores (poll mode): deposit,
+  // flag-spin, consume, reply — the host cost of the communication
+  // substrate under the SVM protocol.
+  constexpr u8 kPing = 1;
+  constexpr u8 kPong = 2;
+  scc::ChipConfig cfg;
+  cfg.num_cores = 2;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 1 << 20;
+  scc::Chip chip(cfg);
+  std::unique_ptr<kernel::Kernel> kernels[2];
+  std::unique_ptr<mbox::MailboxSystem> mboxes[2];
+  bool stop = false;
+  u64 trips = 0;
+  chip.spawn_program(0, [&](scc::Core& core) {
+    kernels[0] = std::make_unique<kernel::Kernel>(core);
+    kernels[0]->boot();
+    mboxes[0] =
+        std::make_unique<mbox::MailboxSystem>(*kernels[0], false);
+    for (auto _ : state) {
+      mbox::Mail m;
+      m.type = kPing;
+      mboxes[0]->send(1, m);
+      (void)mboxes[0]->recv_type(kPong);
+      ++trips;
+    }
+    stop = true;
+    mbox::Mail m;
+    m.type = kPing;  // final ping releases the responder
+    mboxes[0]->send(1, m);
+  });
+  chip.spawn_program(1, [&](scc::Core& core) {
+    kernels[1] = std::make_unique<kernel::Kernel>(core);
+    kernels[1]->boot();
+    mboxes[1] =
+        std::make_unique<mbox::MailboxSystem>(*kernels[1], false);
+    while (true) {
+      (void)mboxes[1]->recv_type(kPing);
+      if (stop) break;
+      mbox::Mail m;
+      m.type = kPong;
+      mboxes[1]->send(0, m);
+    }
+  });
+  chip.run();
+  state.SetItemsProcessed(static_cast<i64>(trips));
+}
+BENCHMARK(BM_MailRoundTrip);
 
 }  // namespace
 

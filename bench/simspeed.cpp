@@ -1,0 +1,232 @@
+// Simulator-throughput benchmark: how fast does the simulation substrate
+// run on the host? Emits BENCH_simspeed.json with host events/sec and
+// sim-seconds-per-wall-second per subsystem, wired into the perf gate's
+// host-throughput mode (tools/check_perf_regression.sh): the virtual-time
+// fields are compared exactly (determinism), the throughput medians with
+// a generous noise margin.
+//
+// Four workloads, one per hot subsystem:
+//   sched — two-actor yield leapfrog through the event core
+//   churn — block/wake storm across 64 actors (heap re-keying)
+//   mem   — L1-hit load/store loop through the inlined fast path
+//   mail  — two-core mailbox ping-pong (deposit/poll/consume/reply)
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "kernel/kernel.hpp"
+#include "mailbox/mailbox.hpp"
+#include "sccsim/chip.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace msvm;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  u64 events = 0;        // host-side event count (deterministic)
+  TimePs makespan = 0;   // virtual time covered (deterministic)
+  double wall_s = 0.0;   // host seconds (noisy)
+};
+
+RunResult run_sched() {
+  RunResult r;
+  const double t0 = now_s();
+  sim::Scheduler sched;
+  constexpr int kActors = 4;
+  constexpr u64 kYields = 50'000;
+  for (int a = 0; a < kActors; ++a) {
+    sched.spawn("actor", [&sched, &r] {
+      for (u64 i = 0; i < kYields; ++i) {
+        sched.current()->advance(10);
+        sched.yield();
+        ++r.events;
+      }
+      r.makespan = std::max(r.makespan, sched.current()->clock());
+    });
+  }
+  sched.run();
+  r.wall_s = now_s() - t0;
+  return r;
+}
+
+RunResult run_churn() {
+  RunResult r;
+  const double t0 = now_s();
+  sim::Scheduler sched;
+  constexpr int kSleepers = 64;
+  constexpr u64 kRounds = 400;
+  std::vector<sim::Actor*> sleepers;
+  for (int i = 0; i < kSleepers; ++i) {
+    sleepers.push_back(&sched.spawn("sleeper", [&sched, &r] {
+      while (sched.current()->clock() < 2'000'000) {
+        (void)sched.block_until(sched.current()->clock() + 10'000);
+        ++r.events;
+      }
+      r.makespan = std::max(r.makespan, sched.current()->clock());
+    }));
+  }
+  sched.spawn("storm", [&] {
+    u32 lcg = 0xdecafu;
+    for (u64 round = 0; round < kRounds; ++round) {
+      for (int k = 0; k < kSleepers * 4; ++k) {
+        lcg = lcg * 1664525u + 1013904223u;
+        sched.wake(*sleepers[lcg % kSleepers],
+                   sched.current()->clock() + 1 + lcg % 97);
+        ++r.events;
+      }
+      sched.current()->advance(4'000);
+      sched.yield();
+    }
+  });
+  sched.run();
+  r.wall_s = now_s() - t0;
+  return r;
+}
+
+RunResult run_mem() {
+  RunResult r;
+  const double t0 = now_s();
+  scc::ChipConfig cfg;
+  cfg.num_cores = 1;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 1 << 20;
+  scc::Chip chip(cfg);
+  chip.spawn_program(0, [&](scc::Core& core) {
+    scc::Pte pte;
+    pte.frame_paddr = scc::kSharedBase;
+    pte.present = true;
+    pte.writable = true;
+    pte.mpbt = true;
+    core.pagetable().map(scc::kSvmVBase, pte);
+    (void)core.vload<u64>(scc::kSvmVBase);  // warm the line
+    constexpr u64 kAccesses = 400'000;
+    u64 acc = 0;
+    for (u64 i = 0; i < kAccesses; ++i) {
+      acc += core.vload<u64>(scc::kSvmVBase + (i & 3) * 8);
+      core.vstore<u64>(scc::kSvmVBase + (i & 3) * 8, acc);
+    }
+    r.events = 2 * kAccesses;
+    r.makespan = core.now();
+  });
+  chip.run();
+  r.wall_s = now_s() - t0;
+  return r;
+}
+
+RunResult run_mail() {
+  RunResult r;
+  const double t0 = now_s();
+  constexpr u8 kPing = 1;
+  constexpr u8 kPong = 2;
+  constexpr u64 kTrips = 2'000;
+  scc::ChipConfig cfg;
+  cfg.num_cores = 2;
+  cfg.shared_dram_bytes = 4 << 20;
+  cfg.private_dram_bytes = 1 << 20;
+  scc::Chip chip(cfg);
+  std::unique_ptr<kernel::Kernel> kernels[2];
+  std::unique_ptr<mbox::MailboxSystem> mboxes[2];
+  chip.spawn_program(0, [&](scc::Core& core) {
+    kernels[0] = std::make_unique<kernel::Kernel>(core);
+    kernels[0]->boot();
+    mboxes[0] =
+        std::make_unique<mbox::MailboxSystem>(*kernels[0], false);
+    for (u64 i = 0; i < kTrips; ++i) {
+      mbox::Mail m;
+      m.type = kPing;
+      mboxes[0]->send(1, m);
+      (void)mboxes[0]->recv_type(kPong);
+      ++r.events;
+    }
+    r.makespan = core.now();
+  });
+  chip.spawn_program(1, [&](scc::Core& core) {
+    kernels[1] = std::make_unique<kernel::Kernel>(core);
+    kernels[1]->boot();
+    mboxes[1] =
+        std::make_unique<mbox::MailboxSystem>(*kernels[1], false);
+    for (u64 i = 0; i < kTrips; ++i) {
+      (void)mboxes[1]->recv_type(kPing);
+      mbox::Mail m;
+      m.type = kPong;
+      mboxes[1]->send(0, m);
+    }
+  });
+  chip.run();
+  r.wall_s = now_s() - t0;
+  return r;
+}
+
+struct Workload {
+  const char* name;
+  RunResult (*run)();
+};
+
+constexpr Workload kWorkloads[] = {
+    {"sched", run_sched},
+    {"churn", run_churn},
+    {"mem", run_mem},
+    {"mail", run_mail},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msvm::bench;
+  const u64 repeats = arg_u64(argc, argv, "repeats", 5);
+  JsonReport report("simspeed", argc, argv);
+  report.config("repeats", repeats);
+
+  print_header("simspeed: host throughput of the simulation substrate",
+               "simulator infrastructure (not a paper figure)");
+  std::printf("%-8s %14s %16s %14s\n", "workload", "events",
+              "events/sec", "simsec/wallsec");
+  print_row_sep();
+
+  for (const Workload& w : kWorkloads) {
+    u64 events = 0;
+    TimePs makespan = 0;
+    double best_eps = 0.0;
+    double best_ratio = 0.0;
+    for (u64 rep = 0; rep < repeats; ++rep) {
+      const RunResult r = w.run();
+      if (rep == 0) {
+        events = r.events;
+        makespan = r.makespan;
+      } else if (events != r.events || makespan != r.makespan) {
+        std::fprintf(stderr,
+                     "simspeed: %s is nondeterministic across repeats\n",
+                     w.name);
+        return 1;
+      }
+      const double eps = static_cast<double>(r.events) / r.wall_s;
+      const double ratio =
+          (static_cast<double>(r.makespan) / 1e12) / r.wall_s;
+      best_eps = std::max(best_eps, eps);
+      best_ratio = std::max(best_ratio, ratio);
+      report.sample(std::string(w.name) + "_events_per_sec", eps);
+      report.sample(std::string(w.name) + "_simsec_per_wallsec", ratio);
+    }
+    // Deterministic fields the gate compares exactly.
+    report.config(std::string(w.name) + "_events", events);
+    report.config(std::string(w.name) + "_makespan_ps",
+                  static_cast<u64>(makespan));
+    std::printf("%-8s %14llu %16.3g %14.3g\n", w.name,
+                static_cast<unsigned long long>(events), best_eps,
+                best_ratio);
+  }
+  print_row_sep();
+  std::printf("(medians and p95s land in BENCH_simspeed.json; the perf\n"
+              " gate compares events/sec with a generous noise margin and\n"
+              " the events/makespan fields exactly)\n");
+  return 0;
+}

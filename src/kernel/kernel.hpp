@@ -16,6 +16,7 @@
 
 #include "sccsim/chip.hpp"
 #include "sccsim/core.hpp"
+#include "sim/fnref.hpp"
 
 namespace msvm::kernel {
 
@@ -28,7 +29,12 @@ struct SpinWaitOpts {
   const char* site = "kernel.spin";  // wait-site label for hang reports
   u64 site_arg = 0;                  // e.g. the contended register/page
   u64 warn_every = 0;                // invoke on_stuck every N failures
-  std::function<void(u64 spins)> on_stuck;
+  /// Non-owning (sim::FnRef): SpinWaitOpts is built fresh on every
+  /// contended acquire, and a std::function here heap-allocated whenever
+  /// the diagnostic capture outgrew the small-buffer limit. The callable
+  /// must be a *named* local at the call site (a lambda temporary
+  /// assigned to this member dies at the end of its statement).
+  sim::FnRef<void(u64 spins)> on_stuck;
 };
 
 /// The one exponential-backoff spin loop: try, back off (cooperatively

@@ -337,11 +337,11 @@ void MailboxSystem::dispatch(Mail mail) {
   }
 }
 
-std::optional<Mail> MailboxSystem::try_take(const Predicate& pred) {
-  for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
-    if (pred(*it)) {
-      Mail m = *it;
-      inbox_.erase(it);
+std::optional<Mail> MailboxSystem::try_take(Predicate pred) {
+  for (std::size_t i = 0; i < inbox_.size(); ++i) {
+    if (pred(inbox_.at(i))) {
+      const Mail m = inbox_.at(i);
+      inbox_.erase_at(i);
       return m;
     }
   }
@@ -353,7 +353,7 @@ void MailboxSystem::enqueue_inbox(const Mail& mail) {
   inbox_.push_back(mail);
 }
 
-std::optional<Mail> MailboxSystem::recv_loop(const Predicate& pred,
+std::optional<Mail> MailboxSystem::recv_loop(Predicate pred,
                                              TimePs deadline) {
   sim::BlockScope scope(core_.chip().scheduler().current(), "mbox.recv");
   const TimePs t0 = core_.now();
@@ -396,11 +396,11 @@ std::optional<Mail> MailboxSystem::recv_loop(const Predicate& pred,
   }
 }
 
-Mail MailboxSystem::recv_match(const Predicate& pred) {
+Mail MailboxSystem::recv_match(Predicate pred) {
   return *recv_loop(pred, kTimeNever);
 }
 
-std::optional<Mail> MailboxSystem::recv_match_until(const Predicate& pred,
+std::optional<Mail> MailboxSystem::recv_match_until(Predicate pred,
                                                     TimePs deadline) {
   return recv_loop(pred, deadline);
 }

@@ -22,13 +22,14 @@
 // a software inbox that recv_match() consumes.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "kernel/kernel.hpp"
 #include "mailbox/layout.hpp"
+#include "mailbox/mail_ring.hpp"
+#include "sim/fnref.hpp"
 #include "sim/types.hpp"
 
 namespace msvm::mbox {
@@ -148,16 +149,22 @@ class MailboxSystem {
   /// Blocks until a mail satisfying `pred` arrives (via inbox), draining
   /// and dispatching other traffic meanwhile. Poll mode spins over
   /// poll_all(); IPI mode halts between interrupts.
-  using Predicate = std::function<bool(const Mail&)>;
-  Mail recv_match(const Predicate& pred);
+  ///
+  /// The predicate is a non-owning reference (sim::FnRef): constructing
+  /// one never allocates — the SVM fault path builds a fresh predicate
+  /// per protocol wait, which as a std::function heap-allocated every
+  /// time the capture outgrew the small-buffer limit. A lambda passed
+  /// directly to these calls outlives the wait (full-expression
+  /// lifetime); see fnref.hpp for the storage rule.
+  using Predicate = sim::FnRef<bool(const Mail&)>;
+  Mail recv_match(Predicate pred);
 
   /// Like recv_match but gives up (returns nullopt) once the core's
   /// virtual clock reaches `deadline`. The deadline check is host-side
   /// only: a wait that succeeds before the deadline is cycle-identical
   /// to recv_match. This is the primitive under the SVM layer's bounded
   /// protocol waits and retransmission.
-  std::optional<Mail> recv_match_until(const Predicate& pred,
-                                       TimePs deadline);
+  std::optional<Mail> recv_match_until(Predicate pred, TimePs deadline);
 
   /// Convenience: waits for the next mail of `type`.
   Mail recv_type(u8 type) {
@@ -165,7 +172,7 @@ class MailboxSystem {
   }
 
   /// Non-blocking inbox take.
-  std::optional<Mail> try_take(const Predicate& pred);
+  std::optional<Mail> try_take(Predicate pred);
 
   /// Queues a mail into the software inbox as if it had arrived without
   /// a registered handler. Used by handlers that filter traffic (e.g.
@@ -193,7 +200,7 @@ class MailboxSystem {
 
   /// Shared wait loop of recv_match / recv_match_until; `deadline` is
   /// kTimeNever for an unbounded wait.
-  std::optional<Mail> recv_loop(const Predicate& pred, TimePs deadline);
+  std::optional<Mail> recv_loop(Predicate pred, TimePs deadline);
 
   /// Timer callback in IPI mode when the sweep is configured.
   void sweep_tick();
@@ -204,10 +211,10 @@ class MailboxSystem {
   MailboxConfig cfg_;
   std::vector<int> participants_;
   std::vector<Handler> handlers_;  // indexed by type
-  std::deque<Mail> inbox_;
+  MailRing<Mail> inbox_;
   /// Handler runs deferred past kMaxDispatchDepth, drained iteratively
   /// by the outermost dispatch (see MailboxSystem::dispatch).
-  std::deque<Mail> deferred_;
+  MailRing<Mail> deferred_;
   MailboxStats stats_;
   static constexpr int kMaxDispatchDepth = 16;
   int dispatch_depth_ = 0;

@@ -31,11 +31,23 @@ class Cache {
       : line_bytes_(line_bytes),
         assoc_(assoc),
         num_sets_(total_bytes / line_bytes / assoc),
-        lines_(static_cast<std::size_t>(num_sets_) * assoc) {
+        lines_(static_cast<std::size_t>(num_sets_) * assoc),
+        data_(static_cast<std::size_t>(num_sets_) * assoc * line_bytes, 0) {
     assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0 &&
            "set count must be a power of two");
-    for (auto& line : lines_) line.data.resize(line_bytes_, 0);
+    assert((line_bytes & (line_bytes - 1)) == 0 &&
+           "line size must be a power of two");
+    while ((u32{1} << line_shift_) < line_bytes) ++line_shift_;
+    // Wire each line header to its slice of the flat payload slab. Both
+    // vectors are sized once here and never reallocated, so the interior
+    // pointers stay valid for the cache's lifetime (copying is deleted).
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      lines_[i].data = data_.data() + i * line_bytes_;
+    }
   }
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
 
   u32 line_bytes() const { return line_bytes_; }
   u32 num_sets() const { return num_sets_; }
@@ -49,21 +61,30 @@ class Cache {
   /// Reads `size` bytes if present; returns false on miss. Hit updates
   /// LRU. The access must not straddle a line boundary.
   bool read(u64 paddr, void* out, u32 size) {
-    Line* line = find(paddr);
-    if (line == nullptr) return false;
-    line->stamp = ++tick_;
-    std::memcpy(out, line->data.data() + offset_in_line(paddr), size);
+    const u8* bytes = hit_bytes(paddr);
+    if (bytes == nullptr) return false;
+    std::memcpy(out, bytes + offset_in_line(paddr), size);
     return true;
   }
 
   /// Write-through update: writes into the line if present (returns true),
   /// no allocation on miss.
   bool write(u64 paddr, const void* data, u32 size) {
-    Line* line = find(paddr);
-    if (line == nullptr) return false;
-    line->stamp = ++tick_;
-    std::memcpy(line->data.data() + offset_in_line(paddr), data, size);
+    u8* bytes = hit_bytes(paddr);
+    if (bytes == nullptr) return false;
+    std::memcpy(bytes + offset_in_line(paddr), data, size);
     return true;
+  }
+
+  /// Hot-path hit probe: on a hit, bumps the LRU stamp and returns the
+  /// line's byte storage (the caller indexes with the in-line offset and
+  /// performs the copy itself); nullptr on a miss, with no state change.
+  /// This is the single lookup the Core's inlined L1-hit fast path does.
+  u8* hit_bytes(u64 paddr) {
+    Line* line = find(paddr);
+    if (line == nullptr) return nullptr;
+    line->stamp = ++tick_;
+    return line_data(line);
   }
 
   /// Allocates (fills) the line containing `paddr` with `line_data`
@@ -85,7 +106,7 @@ class Cache {
     victim->mpbt = mpbt;
     victim->tag = tag;
     victim->stamp = ++tick_;
-    std::memcpy(victim->data.data(), line_data, line_bytes_);
+    std::memcpy(this->line_data(victim), line_data, line_bytes_);
   }
 
   void invalidate_line(u64 paddr) {
@@ -112,20 +133,27 @@ class Cache {
   /// Test hook: directly inspect a cached line's bytes (nullptr if absent).
   const u8* peek_line(u64 paddr) const {
     const Line* line = find(paddr);
-    return line ? line->data.data() : nullptr;
+    return line ? line_data(line) : nullptr;
   }
 
  private:
+  // Line header: metadata plus a pointer to the line's slice of the flat
+  // payload slab (data_), so a hit finds header and payload address in
+  // one contiguous 32-byte record instead of chasing a per-line heap
+  // allocation or dividing pointer offsets.
   struct Line {
     u64 tag = 0;
     u64 stamp = 0;
+    u8* data = nullptr;
     bool valid = false;
     bool mpbt = false;
-    std::vector<u8> data;
   };
 
+  static u8* line_data(Line* line) { return line->data; }
+  static const u8* line_data(const Line* line) { return line->data; }
+
   u32 set_index(u64 paddr) const {
-    return static_cast<u32>((paddr / line_bytes_) & (num_sets_ - 1));
+    return static_cast<u32>((paddr >> line_shift_) & (num_sets_ - 1));
   }
 
   u32 offset_in_line(u64 paddr) const {
@@ -148,10 +176,12 @@ class Cache {
   }
 
   u32 line_bytes_;
+  u32 line_shift_ = 0;  // log2(line_bytes_)
   u32 assoc_;
   u32 num_sets_;
   u64 tick_ = 0;
   std::vector<Line> lines_;
+  std::vector<u8> data_;  // flat payload slab, line_bytes_ per line
 };
 
 }  // namespace msvm::scc

@@ -34,6 +34,12 @@ Core::Core(Chip& chip, int id)
   timer_period_ps_ = cfg_.timer_period_us * kPsPerUs;
   boundary_interval_ps_ =
       cfg_.boundary_check_cycles * cfg_.core_cycle_ps();
+  lat_l1_hit_ps_ = chip.latency().l1_hit();
+  lat_store_hit_ps_ = chip.latency().store_hit();
+  lat_wcb_merge_ps_ = chip.latency().wcb_merge();
+  line_off_mask_ = cfg_.line_bytes - 1;
+  page_off_mask_ = cfg_.page_bytes - 1;
+  page_shift_ = pagetable_.page_shift();
 }
 
 void Core::bind_actor(sim::Actor* actor) {

@@ -55,13 +55,13 @@ class Core {
   template <typename T>
   T vload(u64 vaddr) {
     T out;
-    vread(vaddr, &out, sizeof(T));
+    if (!vread_fast(vaddr, &out)) vread(vaddr, &out, sizeof(T));
     return out;
   }
 
   template <typename T>
   void vstore(u64 vaddr, T value) {
-    vwrite(vaddr, &value, sizeof(T));
+    if (!vwrite_fast(vaddr, &value)) vwrite(vaddr, &value, sizeof(T));
   }
 
   void vread(u64 vaddr, void* out, u32 size);
@@ -162,6 +162,88 @@ class Core {
   void tick(TimePs cost);
 
  private:
+  // ---- inlined cache-hit fast path ----------------------------------
+  //
+  // An L1 hit whose cost fits inside the current boundary interval is a
+  // pure header-only operation: TLB-slot check, tag check, LRU stamp,
+  // byte copy, clock advance. It never touches the Mesh/latency
+  // machinery, never masks interrupts (no boundary can fall inside the
+  // access, so masking would be a no-op), and publishes no bus events
+  // (only device transactions do). Every pre-condition is checked before
+  // any state is mutated, so a bail-out to the slow path is free — and
+  // the slow path then performs the access bit- and cycle-identically.
+  //
+  // Invariant (pinned by tests/sccsim/core_fastpath_test.cpp): for any
+  // access, fast path taken or not, counters, clocks, cache/LRU state
+  // and data movement are identical to the slow path's.
+
+  template <typename T>
+  [[gnu::always_inline]] inline bool vread_fast(u64 vaddr, T* out) {
+    constexpr u32 size = sizeof(T);
+    const u32 off = static_cast<u32>(vaddr & line_off_mask_);
+    if (off + size > line_off_mask_ + 1) return false;  // straddles a line
+    if (tlb_epoch_ != pagetable_.epoch()) return false;
+    const u64 vpage = vaddr >> page_shift_;
+    const TlbEntry& slot = tlb_[vpage % kTlbEntries];
+    if (slot.vpage != vpage || !slot.pte.present) return false;
+    const u64 paddr = slot.pte.frame_paddr + (vaddr & page_off_mask_);
+    // Buffered stores must be observed; any WCB overlap is slow-path work
+    // (forward or drain). Only MPBT loads consult the WCB.
+    if (slot.pte.mpbt && wcb_.overlaps(paddr, size)) return false;
+    if (actor_->clock() + lat_l1_hit_ps_ >= next_boundary_) return false;
+    const u8* bytes = l1_.hit_bytes(paddr);
+    if (bytes == nullptr) return false;
+    // Commit: replicate the slow path's counters and timing exactly.
+    std::memcpy(out, bytes + off, size);
+    ++counters_.loads;
+    ++counters_.tlb_hits;
+    ++counters_.l1_hits;
+    counters_.busy_ps += lat_l1_hit_ps_;
+    actor_->advance(lat_l1_hit_ps_);
+    return true;
+  }
+
+  template <typename T>
+  [[gnu::always_inline]] inline bool vwrite_fast(u64 vaddr, const T* src) {
+    constexpr u32 size = sizeof(T);
+    const u32 off = static_cast<u32>(vaddr & line_off_mask_);
+    if (off + size > line_off_mask_ + 1) return false;  // straddles a line
+    if (tlb_epoch_ != pagetable_.epoch()) return false;
+    const u64 vpage = vaddr >> page_shift_;
+    const TlbEntry& slot = tlb_[vpage % kTlbEntries];
+    if (slot.vpage != vpage || !slot.pte.present || !slot.pte.writable) {
+      return false;
+    }
+    // Only the MPBT write path stays on-core (WCB merge); write-through
+    // CachedWT stores always pay a device transaction — slow path.
+    if (!slot.pte.mpbt) return false;
+    const u64 paddr = slot.pte.frame_paddr + (vaddr & page_off_mask_);
+    // Mergeable only when the WCB is empty or already holds this line;
+    // anything else must flush downstream first — slow path.
+    if (wcb_.valid() && wcb_.line_addr() != (paddr & ~line_off_mask_)) {
+      return false;
+    }
+    // Bound the cost by the worst case (store-hit + merge) so the check
+    // is independent of whether L1 holds the line; a near-boundary store
+    // that would still have fit simply takes the slow path.
+    if (actor_->clock() + lat_store_hit_ps_ + lat_wcb_merge_ps_ >=
+        next_boundary_) {
+      return false;
+    }
+    TimePs cost = lat_wcb_merge_ps_;
+    if (u8* bytes = l1_.hit_bytes(paddr)) {  // write-through into L1
+      std::memcpy(bytes + off, src, size);
+      cost += lat_store_hit_ps_;
+    }
+    wcb_.merge(paddr & ~line_off_mask_, off, src, size);
+    ++counters_.stores;
+    ++counters_.tlb_hits;
+    ++counters_.wcb_merges;
+    counters_.busy_ps += cost;
+    actor_->advance(cost);
+    return true;
+  }
+
   // Translation outcome for one access segment.
   struct Translation {
     u64 paddr;
@@ -211,6 +293,16 @@ class Core {
   TimePs next_boundary_ = 0;
   TimePs timer_period_ps_ = 0;
   TimePs boundary_interval_ps_ = 0;
+
+  // Constants cached at construction for the inlined fast path (the
+  // latency model composes them from ChipConfig once; they never change
+  // during a run).
+  TimePs lat_l1_hit_ps_ = 0;
+  TimePs lat_store_hit_ps_ = 0;
+  TimePs lat_wcb_merge_ps_ = 0;
+  u64 line_off_mask_ = 0;  // line_bytes - 1
+  u64 page_off_mask_ = 0;  // page_bytes - 1
+  u32 page_shift_ = 0;
 
   // Host-side translation cache (zero simulated cost): direct-mapped on
   // vpage, invalidated wholesale whenever the page table's epoch moves.

@@ -34,10 +34,13 @@ class PageTable {
  public:
   explicit PageTable(u32 page_bytes) : page_bytes_(page_bytes) {
     assert((page_bytes & (page_bytes - 1)) == 0);
+    while ((u32{1} << page_shift_) < page_bytes) ++page_shift_;
   }
 
   u32 page_bytes() const { return page_bytes_; }
-  u64 vpage_of(u64 vaddr) const { return vaddr / page_bytes_; }
+  /// log2(page_bytes): hot paths shift instead of dividing.
+  u32 page_shift() const { return page_shift_; }
+  u64 vpage_of(u64 vaddr) const { return vaddr >> page_shift_; }
   u64 page_offset(u64 vaddr) const { return vaddr & (page_bytes_ - 1); }
 
   /// Epoch increments on every mutation; consumers (the core's host-side
@@ -78,6 +81,7 @@ class PageTable {
 
  private:
   u32 page_bytes_;
+  u32 page_shift_ = 0;
   u64 epoch_ = 0;
   std::unordered_map<u64, Pte> entries_;
 };

@@ -65,8 +65,22 @@ class WriteCombineBuffer {
     }
     const u32 off = static_cast<u32>(paddr & (line_bytes_ - 1));
     std::memcpy(data_.data() + off, src, size);
-    for (u32 i = 0; i < size; ++i) dirty_mask_ |= u64{1} << (off + i);
+    dirty_mask_ |= span_mask(off, size);
     return std::nullopt;
+  }
+
+  /// Hot-path merge for a store the caller has already proven mergeable
+  /// (buffer empty or holding `line`): same effect as store(), minus the
+  /// different-line branch and the FlushRequest plumbing.
+  void merge(u64 line, u32 off, const void* src, u32 size) {
+    assert(!valid_ || line == line_addr_);
+    if (!valid_) {
+      valid_ = true;
+      line_addr_ = line;
+      dirty_mask_ = 0;
+    }
+    std::memcpy(data_.data() + off, src, size);
+    dirty_mask_ |= span_mask(off, size);
   }
 
   /// Reads buffered bytes into `out` where dirty; returns true only if
@@ -74,9 +88,8 @@ class WriteCombineBuffer {
   bool forward(u64 paddr, void* out, u32 size) const {
     if (!overlaps(paddr, size)) return false;
     const u32 off = static_cast<u32>(paddr & (line_bytes_ - 1));
-    for (u32 i = 0; i < size; ++i) {
-      if (!(dirty_mask_ & (u64{1} << (off + i)))) return false;
-    }
+    const u64 want = span_mask(off, size);
+    if ((dirty_mask_ & want) != want) return false;
     std::memcpy(out, data_.data() + off, size);
     return true;
   }
@@ -89,6 +102,14 @@ class WriteCombineBuffer {
   }
 
  private:
+  /// Bitmap with bits [off, off+size) set. size <= 64 by the line-size
+  /// assert, and a whole-line span must not shift by 64 (UB): split the
+  /// expression so the full-width case is exact.
+  static u64 span_mask(u32 off, u32 size) {
+    const u64 width = size >= 64 ? ~u64{0} : (u64{1} << size) - 1;
+    return width << off;
+  }
+
   FlushRequest take_flush() {
     valid_ = false;
     return FlushRequest{line_addr_, data_.data(), line_bytes_, dirty_mask_};

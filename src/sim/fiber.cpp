@@ -107,6 +107,20 @@ void Fiber::yield_to_main() {
   msvm_fiber_swap(&self->fiber_rsp_, &self->main_rsp_);
 }
 
+void Fiber::transfer(Fiber& from, Fiber& to) {
+  assert(g_current_fiber == &from && "transfer() must come from `from`");
+  assert(!to.finished_ && "cannot transfer to a finished fiber");
+  // Whoever later yields to main must land in the resume() frame that
+  // started this chain of transfers.
+  to.main_rsp_ = from.main_rsp_;
+  to.started_ = true;
+  g_current_fiber = &to;
+  msvm_fiber_swap(&from.fiber_rsp_, &to.fiber_rsp_);
+  // Control returns here when some context switches back into `from`;
+  // that resumer (resume() or another transfer()) has already updated
+  // g_current_fiber, so nothing must be touched after the swap.
+}
+
 Fiber* Fiber::current() { return g_current_fiber; }
 
 void Fiber::trampoline() {

@@ -48,6 +48,14 @@ class Fiber {
   /// called from inside the currently running fiber.
   static void yield_to_main();
 
+  /// Switches directly from fiber `from` (the currently running one) to
+  /// fiber `to` without bouncing through the main context: one context
+  /// switch instead of two. The "return to main" continuation travels
+  /// with the running fiber — `to` inherits it — so whichever fiber in a
+  /// transfer chain eventually calls yield_to_main() (or finishes)
+  /// returns to the resume() call that entered the chain.
+  static void transfer(Fiber& from, Fiber& to);
+
   /// The fiber currently executing, or nullptr when in the main context.
   static Fiber* current();
 

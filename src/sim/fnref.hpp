@@ -1,0 +1,59 @@
+// FnRef — a non-owning callable reference: one context pointer plus one
+// function pointer, nothing else.
+//
+// std::function on the simulator's hot paths has two costs we care about:
+// captures past the small-buffer limit heap-allocate on every
+// construction (the mailbox predicates and spin-wait callbacks are built
+// per call, i.e. per simulated fault), and the type-erased call is an
+// indirect call through a vtable-like thunk either way. FnRef keeps the
+// indirect call but removes ownership — so constructing one is two stores
+// and can never allocate.
+//
+// Lifetime rule: FnRef does NOT copy the callable. The referenced
+// callable must outlive every invocation. Passing a lambda temporary
+// directly as a function argument is safe (the temporary lives to the end
+// of the full expression, which includes the callee's execution); storing
+// a FnRef in an object that outlives the current statement requires the
+// callable to be a named local (or longer-lived) — assigning a lambda
+// temporary to a struct member dangles.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace msvm::sim {
+
+template <typename Sig>
+class FnRef;
+
+template <typename R, typename... Args>
+class FnRef<R(Args...)> {
+ public:
+  FnRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FnRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FnRef(F&& f)  // NOLINT(google-explicit-constructor): drop-in for
+                // std::function parameters, same implicit conversions
+      : ctx_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return fn_(ctx_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return fn_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*fn_)(void*, Args...) = nullptr;
+};
+
+}  // namespace msvm::sim

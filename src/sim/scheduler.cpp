@@ -37,8 +37,8 @@ Scheduler::~Scheduler() { cancel_all(); }
 
 void Scheduler::cancel_all() {
   // Cooperatively cancel any actor that is still suspended mid-execution
-  // (normal completion leaves none). Each resume makes switch_out() throw
-  // CancelledError inside the actor, unwinding its stack.
+  // (normal completion leaves none). Each resume makes dispatch_from()
+  // throw CancelledError inside the actor, unwinding its stack.
   // A never-started fiber has no stack objects and may simply be
   // destroyed; running its body at teardown would be wrong.
   //
@@ -58,6 +58,12 @@ void Scheduler::cancel_all() {
         ++finished_count_;
       }
     }
+    // The unwound actor may still own a queue entry (it was scheduled, or
+    // blocked with a timeout); drop it so the heap holds live actors only.
+    if (a->state_ == Actor::State::kFinished &&
+        a->heap_pos_ != Actor::kNotInHeap) {
+      heap_remove_at(a->heap_pos_);
+    }
   }
   cancelling_ = false;
 }
@@ -70,13 +76,96 @@ Actor& Scheduler::spawn(std::string name, std::function<void()> body,
   Actor& a = *actors_.back();
   a.clock_ = start;
   a.state_ = Actor::State::kScheduled;
-  schedule(a, start);
+  heap_push(a, start);
   return a;
 }
 
-void Scheduler::schedule(Actor& a, TimePs at) {
-  a.generation_ += 1;
-  heap_.push(HeapEntry{at, seq_++, a.generation_, &a});
+// ---- indexed binary heap ----
+
+void Scheduler::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!entry_less(e, heap_[parent])) break;
+    heap_place(i, heap_[parent]);
+    i = parent;
+  }
+  heap_place(i, e);
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && entry_less(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!entry_less(heap_[child], e)) break;
+    heap_place(i, heap_[child]);
+    i = child;
+  }
+  heap_place(i, e);
+}
+
+void Scheduler::heap_push(Actor& a, TimePs at) {
+  assert(a.heap_pos_ == Actor::kNotInHeap);
+  heap_.push_back(HeapEntry{at, a.id_, &a});
+  a.heap_pos_ = heap_.size() - 1;
+  sift_up(a.heap_pos_);
+}
+
+void Scheduler::heap_remove_at(std::size_t i) {
+  assert(i < heap_.size());
+  heap_[i].actor->heap_pos_ = Actor::kNotInHeap;
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    heap_place(i, moved);
+    if (i > 0 && entry_less(heap_[i], heap_[(i - 1) / 2])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Scheduler::heap_move(Actor& a, TimePs at) {
+  const std::size_t i = a.heap_pos_;
+  assert(i < heap_.size() && heap_[i].actor == &a);
+  const TimePs old = heap_[i].time;
+  heap_[i].time = at;
+  if (at < old) {
+    sift_up(i);
+  } else if (at > old) {
+    sift_down(i);
+  }
+}
+
+// ---- run loop and suspension points ----
+
+Actor* Scheduler::take_next() {
+  // Finished actors never hold heap entries during a run (they finish
+  // while running, i.e. dequeued); the skip only matters for a heap
+  // inspected after cancel_all tore actors down mid-flight.
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    heap_remove_at(0);
+    Actor* next = top.actor;
+    if (next->state_ == Actor::State::kFinished) continue;
+    // A popped entry for a blocked actor is a timeout firing.
+    next->wake_reason_ = next->state_ == Actor::State::kBlocked
+                             ? WakeReason::kTimeout
+                             : WakeReason::kWoken;
+    next->advance_to(top.time);
+    next->state_ = Actor::State::kRunning;
+    return next;
+  }
+  return nullptr;
 }
 
 std::string Scheduler::describe_blocked_actors() const {
@@ -95,20 +184,7 @@ void Scheduler::run() {
   assert(current_ == nullptr && "run() is not reentrant");
   running_ = true;
   while (finished_count_ < actors_.size() && !stop_requested_) {
-    // Pop the earliest valid heap entry.
-    Actor* next = nullptr;
-    TimePs at = 0;
-    while (!heap_.empty()) {
-      HeapEntry e = heap_.top();
-      heap_.pop();
-      if (e.generation != e.actor->generation_ ||
-          e.actor->state_ == Actor::State::kFinished) {
-        continue;  // stale entry
-      }
-      next = e.actor;
-      at = e.time;
-      break;
-    }
+    Actor* next = take_next();
     if (next == nullptr) {
       std::ostringstream oss;
       oss << "simulated deadlock: all live actors blocked, no timeout "
@@ -118,53 +194,52 @@ void Scheduler::run() {
       throw DeadlockError(oss.str());
     }
 
-    // A popped entry for a blocked actor is a timeout firing.
-    next->wake_reason_ = next->state_ == Actor::State::kBlocked
-                             ? WakeReason::kTimeout
-                             : WakeReason::kWoken;
-    next->advance_to(at);
-    next->state_ = Actor::State::kRunning;
     current_ = next;
     next->fiber_->resume();
+    // Direct fiber-to-fiber transfers mean the actor that returned control
+    // to us is the *last* one that ran, not necessarily the one resumed.
+    Actor* last = current_;
     current_ = nullptr;
-    if (next->fiber_->finished()) {
-      next->state_ = Actor::State::kFinished;
+    if (last->fiber_->finished()) {
+      last->state_ = Actor::State::kFinished;
       ++finished_count_;
     }
   }
   running_ = false;
 }
 
-void Scheduler::yield() {
-  Actor* self = current_;
-  assert(self != nullptr && "yield() outside an actor");
+void Scheduler::dispatch_from(Actor* self) {
+  if (!stop_requested_) {
+    Actor* next = take_next();
+    if (next == self) {
+      // Popped our own entry (sole runnable, or own block_until timeout
+      // fired first): continue without a context switch.
+      return;
+    }
+    if (next != nullptr) {
+      current_ = next;
+      Fiber::transfer(*self->fiber_, *next->fiber_);
+      if (cancelling_) throw CancelledError{};
+      return;
+    }
+    // Heap empty with self suspended: fall back to main, whose run loop
+    // reports the deadlock.
+  }
+  Fiber::yield_to_main();
+  if (cancelling_) throw CancelledError{};
+}
+
+void Scheduler::yield_switch(Actor* self) {
   self->state_ = Actor::State::kScheduled;
-  schedule(*self, self->clock_);
-  switch_out();
-}
-
-bool Scheduler::maybe_yield() {
-  Actor* self = current_;
-  assert(self != nullptr);
-  if (!someone_earlier(self->clock_)) return false;
-  yield();
-  return true;
-}
-
-bool Scheduler::someone_earlier(TimePs t) const {
-  // The heap may contain stale entries; a stale top only causes a spurious
-  // yield (harmless: the scheduler discards it and resumes the earliest
-  // real actor, possibly the caller itself).
-  if (heap_.empty()) return false;
-  return heap_.top().time < t;
+  heap_push(*self, self->clock_);
+  dispatch_from(self);
 }
 
 WakeReason Scheduler::block() {
   Actor* self = current_;
   assert(self != nullptr && "block() outside an actor");
   self->state_ = Actor::State::kBlocked;
-  self->generation_ += 1;  // invalidate any pending heap entry
-  switch_out();
+  dispatch_from(self);
   return self->wake_reason_;
 }
 
@@ -172,23 +247,20 @@ WakeReason Scheduler::block_until(TimePs deadline) {
   Actor* self = current_;
   assert(self != nullptr && "block_until() outside an actor");
   self->state_ = Actor::State::kBlocked;
-  schedule(*self, deadline);  // timeout entry
-  switch_out();
+  heap_push(*self, deadline);  // timeout entry
+  dispatch_from(self);
   return self->wake_reason_;
 }
 
 void Scheduler::wake(Actor& target, TimePs at) {
   if (target.state_ != Actor::State::kBlocked) return;
   target.state_ = Actor::State::kScheduled;
-  schedule(target, at > target.clock_ ? at : target.clock_);
-}
-
-void Scheduler::switch_out() {
-  assert(Fiber::current() != nullptr);
-  Fiber::yield_to_main();
-  // Resumed: scheduler has set state to kRunning and adjusted the clock —
-  // unless this is a teardown resume, which unwinds the actor instead.
-  if (cancelling_) throw CancelledError{};
+  const TimePs t = at > target.clock_ ? at : target.clock_;
+  if (target.heap_pos_ != Actor::kNotInHeap) {
+    heap_move(target, t);  // re-key the pending timeout entry in place
+  } else {
+    heap_push(target, t);
+  }
 }
 
 }  // namespace msvm::sim

@@ -13,13 +13,24 @@
 //   block()        - suspend until another actor calls wake()
 //   block_until(t) - suspend with a timeout at virtual time t
 //   wake(a, t)     - make a blocked actor schedulable at time >= t
+//
+// Event-core layout: the ready/timeout queue is an *indexed* binary heap —
+// a flat vector of (time, id, actor) entries plus a heap-position index
+// stored in each Actor. Entries are moved in place (sift up/down) when an
+// actor is re-keyed by wake(), so the heap holds at most one entry per
+// live actor at all times: no stale-generation tombstones, no pop-time
+// skip loops, and someone_earlier()/maybe_yield() are an O(1) read of the
+// root entry, which is always live and exact. Actor switches transfer
+// fiber-to-fiber directly (one context switch), only falling back to the
+// main run() loop when the heap empties or a stop is requested; yield()
+// by an actor that is still the earliest runnable is a plain return with
+// no heap traffic at all.
 #pragma once
 
 #include <array>
 #include <cassert>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -88,6 +99,9 @@ class Actor {
  private:
   friend class Scheduler;
 
+  /// Sentinel heap position for an actor with no queue entry.
+  static constexpr std::size_t kNotInHeap = ~std::size_t{0};
+
   Actor(Scheduler& sched, int id, std::string name,
         std::function<void()> body, std::size_t stack_bytes);
 
@@ -96,7 +110,7 @@ class Actor {
   std::string name_;
   TimePs clock_ = 0;
   State state_ = State::kScheduled;
-  u64 generation_ = 0;  // invalidates stale heap entries
+  std::size_t heap_pos_ = kNotInHeap;  // index into Scheduler::heap_
   WakeReason wake_reason_ = WakeReason::kWoken;
   std::unique_ptr<Fiber> fiber_;
   std::array<BlockSite, kMaxBlockSites> sites_{};
@@ -140,17 +154,38 @@ class Scheduler {
   // ---- Called from inside a running actor ----
 
   /// Unconditionally reinsert self and let the scheduler pick the earliest
-  /// actor (possibly self again).
-  void yield();
+  /// actor (possibly self again). When the caller is still the earliest
+  /// runnable actor this is a plain return: no heap traffic, no switch.
+  void yield() {
+    Actor* self = current_;
+    assert(self != nullptr && "yield() outside an actor");
+    if (!stop_requested_) {
+      if (heap_.empty()) return;  // nobody else could run before us
+      const HeapEntry& top = heap_[0];
+      if (top.time > self->clock_ ||
+          (top.time == self->clock_ && top.id > self->id_)) {
+        return;  // re-queueing self would pop self right back
+      }
+    }
+    yield_switch(self);
+  }
 
   /// Cheap check used on the memory-access hot path: yields only when some
   /// other schedulable actor has a strictly smaller clock. Returns true if
   /// a switch happened.
-  bool maybe_yield();
+  bool maybe_yield() {
+    Actor* self = current_;
+    assert(self != nullptr);
+    if (heap_.empty() || heap_[0].time >= self->clock_) return false;
+    yield_switch(self);
+    return true;
+  }
 
   /// True when another schedulable actor has a strictly earlier clock than
-  /// time `t`.
-  bool someone_earlier(TimePs t) const;
+  /// time `t`. Exact: the heap root is always a live entry.
+  bool someone_earlier(TimePs t) const {
+    return !heap_.empty() && heap_[0].time < t;
+  }
 
   /// Suspends the current actor until wake(). Returns the reason.
   WakeReason block();
@@ -172,7 +207,7 @@ class Scheduler {
   bool stop_requested() const { return stop_requested_; }
 
   /// Unwinds every suspended actor by resuming it with CancelledError
-  /// (see switch_out). Must be called from the main context. The
+  /// (see dispatch_from). Must be called from the main context. The
   /// destructor calls this; Chip::run also calls it right before
   /// throwing a hang error, while the objects the parked stack frames
   /// reference are still alive. Idempotent.
@@ -185,27 +220,49 @@ class Scheduler {
   std::size_t num_actors() const { return actors_.size(); }
   Actor& actor(std::size_t i) { return *actors_.at(i); }
 
+  /// Live entry count of the event heap. At most one entry per unfinished
+  /// actor by construction — exposed so tests can pin that bound.
+  std::size_t heap_size() const { return heap_.size(); }
+
  private:
+  /// One indexed-heap entry. The tie-break id is stored inline so the
+  /// comparison never chases the Actor.
   struct HeapEntry {
     TimePs time;
-    u64 seq;
-    u64 generation;
+    int id;
     Actor* actor;
-    bool operator>(const HeapEntry& o) const {
-      if (time != o.time) return time > o.time;
-      if (actor->id() != o.actor->id()) return actor->id() > o.actor->id();
-      return seq > o.seq;
-    }
   };
 
-  void schedule(Actor& a, TimePs at);
-  void switch_out();  // current actor -> main loop; throws when cancelling
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) {
+    return a.time != b.time ? a.time < b.time : a.id < b.id;
+  }
+
+  // ---- indexed-heap primitives (maintain Actor::heap_pos_) ----
+  void heap_place(std::size_t i, const HeapEntry& e) {
+    heap_[i] = e;
+    e.actor->heap_pos_ = i;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_push(Actor& a, TimePs at);
+  void heap_remove_at(std::size_t i);
+  void heap_move(Actor& a, TimePs at);  // re-key the existing entry
+
+  /// Pops the earliest live entry and prepares its actor to run (wake
+  /// reason, clock, state). Returns nullptr when the heap is empty.
+  Actor* take_next();
+
+  /// Suspension point: picks the next actor and transfers to it directly,
+  /// or falls back to the main context when the heap is empty or a stop
+  /// was requested. Rethrows CancelledError on teardown resumes.
+  void dispatch_from(Actor* self);
+
+  /// Out-of-line slow path of yield()/maybe_yield(): requeue self, switch.
+  void yield_switch(Actor* self);
 
   std::vector<std::unique_ptr<Actor>> actors_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap_;
+  std::vector<HeapEntry> heap_;
   Actor* current_ = nullptr;
-  u64 seq_ = 0;
   std::size_t finished_count_ = 0;
   bool running_ = false;
   bool cancelling_ = false;

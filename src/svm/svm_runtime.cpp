@@ -100,6 +100,26 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
       core_(kernel.core()),
       meta_word_(*this, this),
       policy_(make_policy(domain.config())) {
+  // Flat per-page lookup tables: precompute the simulated-memory address
+  // of every metadata word this domain can touch, so the MetaStore hot
+  // path is one vector index instead of layout arithmetic per access.
+  const u32 page_bytes = core_.chip().config().page_bytes;
+  while ((u32{1} << page_shift_) < page_bytes) ++page_shift_;
+  page_index_base_ = domain_.page_index_base();
+  const u64 n = domain_.num_svm_pages();
+  owner_paddr_.resize(n);
+  scratch_paddr_.resize(n);
+  if (domain_.config().read_replication) sharer_paddr_.resize(n);
+  for (u64 i = 0; i < n; ++i) {
+    const u64 page = page_index_base_ + i;
+    owner_paddr_[i] = domain_.owner_entry_paddr(page);
+    scratch_paddr_[i] = domain_.scratchpad_entry_paddr(page);
+    if (!sharer_paddr_.empty()) {
+      sharer_paddr_[i] = domain_.sharer_entry_paddr(page);
+    }
+  }
+  region_id_by_page_.assign(n, kNoRegion);
+
   kernel_.set_svm_fault_handler(
       [this](u64 vaddr, bool is_write) { handle_fault(vaddr, is_write); });
   mbox_.set_handler(kMailOwnershipReq,
@@ -160,19 +180,29 @@ std::string proto_trace_dump(const obs::EventRing& ring,
 }
 
 u64 SvmRuntime::page_index_of(u64 vaddr) const {
-  return (vaddr - scc::kSvmVBase) / core_.chip().config().page_bytes;
+  return (vaddr - scc::kSvmVBase) >> page_shift_;
 }
 
 u64 SvmRuntime::page_vaddr_of(u64 page_idx) const {
-  return scc::kSvmVBase + page_idx * core_.chip().config().page_bytes;
+  return scc::kSvmVBase + (page_idx << page_shift_);
+}
+
+void SvmRuntime::add_region(u64 base, u64 pages) {
+  assert(regions_.size() < kNoRegion && "region id space exhausted");
+  const u16 id = static_cast<u16>(regions_.size());
+  regions_.push_back(RegionAttrs{base, pages, false});
+  const u64 first = page_index_of(base) - page_index_base_;
+  assert(first + pages <= region_id_by_page_.size() &&
+         "region outside this domain's page share");
+  for (u64 i = 0; i < pages; ++i) region_id_by_page_[first + i] = id;
 }
 
 SvmRuntime::RegionAttrs* SvmRuntime::region_of(u64 vaddr) {
-  const u64 page = core_.chip().config().page_bytes;
-  for (auto& r : regions_) {
-    if (vaddr >= r.base && vaddr < r.base + r.pages * page) return &r;
-  }
-  return nullptr;
+  if (vaddr < scc::kSvmVBase) return nullptr;
+  const u64 rel = page_index_of(vaddr) - page_index_base_;
+  if (rel >= region_id_by_page_.size()) return nullptr;
+  const u16 id = region_id_by_page_[rel];
+  return id == kNoRegion ? nullptr : &regions_[id];
 }
 
 void SvmRuntime::append_hang_report(std::string& out) {
@@ -650,7 +680,8 @@ void SvmRuntime::transfer_lock(u64 page) {
   opts.site = "svm.transfer_lock";
   opts.site_arg = page;
   opts.warn_every = 100000;
-  opts.on_stuck = [this, treg, page](u64 /*spins*/) {
+  // Named local: opts.on_stuck is a non-owning FnRef (see fnref.hpp).
+  const auto on_stuck = [this, treg, page](u64 /*spins*/) {
     MSVM_LOG_ERROR(
         "core %d: stuck spinning on transfer lock %d for page %llu "
         "(holder=core %d, holder_page=%llu) t=%.3fms",
@@ -660,6 +691,7 @@ void SvmRuntime::transfer_lock(u64 page) {
             domain_.debug_lock_page_[static_cast<std::size_t>(treg)]),
         ps_to_ms(core_.now()));
   };
+  opts.on_stuck = on_stuck;
   kernel::spin_wait(core_, [&] { return core_.tas_try_acquire(treg); },
                     opts);
   domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
@@ -703,34 +735,36 @@ void SvmRuntime::warn(const char* message) {
 // scratchpad_write boilerplate, deduplicated)
 
 u64 SvmRuntime::load(proto::MetaKind kind, u64 page) {
+  const u64 rel = page - page_index_base_;
+  assert(rel < owner_paddr_.size() && "metadata page outside the domain");
   switch (kind) {
     case proto::MetaKind::kOwner:
-      return core_.pload<u16>(domain_.owner_entry_paddr(page),
+      return core_.pload<u16>(owner_paddr_[rel],
                               scc::MemPolicy::kUncached);
     case proto::MetaKind::kScratchpad:
-      return core_.pload<u16>(domain_.scratchpad_entry_paddr(page),
+      return core_.pload<u16>(scratch_paddr_[rel],
                               scc::MemPolicy::kUncached);
     case proto::MetaKind::kDirectory:
-      return core_.pload<u64>(domain_.sharer_entry_paddr(page),
+      return core_.pload<u64>(sharer_paddr_[rel],
                               scc::MemPolicy::kUncached);
   }
   panic("unknown MetaKind load");
 }
 
 void SvmRuntime::store(proto::MetaKind kind, u64 page, u64 value) {
+  const u64 rel = page - page_index_base_;
+  assert(rel < owner_paddr_.size() && "metadata page outside the domain");
   switch (kind) {
     case proto::MetaKind::kOwner:
-      core_.pstore<u16>(domain_.owner_entry_paddr(page),
-                        static_cast<u16>(value),
+      core_.pstore<u16>(owner_paddr_[rel], static_cast<u16>(value),
                         scc::MemPolicy::kUncached);
       return;
     case proto::MetaKind::kScratchpad:
-      core_.pstore<u16>(domain_.scratchpad_entry_paddr(page),
-                        static_cast<u16>(value),
+      core_.pstore<u16>(scratch_paddr_[rel], static_cast<u16>(value),
                         scc::MemPolicy::kUncached);
       return;
     case proto::MetaKind::kDirectory:
-      core_.pstore<u64>(domain_.sharer_entry_paddr(page), value,
+      core_.pstore<u64>(sharer_paddr_[rel], value,
                         scc::MemPolicy::kUncached);
       return;
   }

@@ -41,9 +41,9 @@ class SvmRuntime final : public proto::ProtocolEnv,
     u64 pages;
     bool readonly = false;
   };
-  void add_region(u64 base, u64 pages) {
-    regions_.push_back(RegionAttrs{base, pages, false});
-  }
+  void add_region(u64 base, u64 pages);
+  /// O(1): page index -> region id via the flat per-page table (the old
+  /// linear region scan ran on every fault).
   RegionAttrs* region_of(u64 vaddr);
 
   // ---- fault path (installed as the kernel's SVM fault handler) ----
@@ -147,6 +147,23 @@ class SvmRuntime final : public proto::ProtocolEnv,
   u16 frame_batch_end_ = 0;
 
   std::vector<RegionAttrs> regions_;
+
+  // ---- flat per-page lookup tables (host-side, built in the ctor) ----
+  //
+  // The metadata words live in *simulated* memory; what these tables
+  // flatten is the host-side address arithmetic for reaching them. The
+  // old path recomputed base + stride * page (with an off-die/MPB branch
+  // and divisions for the scratchpad) on every MetaStore access — several
+  // per protocol transition. Here every per-page physical address is
+  // precomputed once, indexed by (page - page_index_base_).
+  u32 page_shift_ = 0;          // log2(page_bytes)
+  u64 page_index_base_ = 0;     // this domain's first global page index
+  std::vector<u64> owner_paddr_;
+  std::vector<u64> scratch_paddr_;
+  std::vector<u64> sharer_paddr_;  // empty unless read replication
+  /// Page index (domain-relative) -> region id, kNoRegion where unmapped.
+  static constexpr u16 kNoRegion = 0xffff;
+  std::vector<u16> region_id_by_page_;
 
   // ---- protocol-mail resilience (all host-side bookkeeping) ----
 

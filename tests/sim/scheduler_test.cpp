@@ -266,5 +266,51 @@ TEST(Scheduler, SpawnFromInsideActor) {
             (std::vector<std::string>{"parent", "parent2", "child"}));
 }
 
+TEST(Scheduler, WakeStormKeepsHeapBounded) {
+  // Regression test for the stale-entry pathology: the old scheduler
+  // queued a fresh generation-stamped heap entry on every wake() and
+  // left the superseded one behind as a tombstone, so a wake storm on
+  // blocked-with-timeout actors grew the heap without bound until the
+  // pops caught up. The indexed heap re-keys in place: at any instant
+  // there is at most one entry per actor, so the heap can never exceed
+  // the actor count no matter how many wakes land.
+  Scheduler s;
+  constexpr int kSleepers = 32;
+  constexpr u64 kRounds = 200;
+  std::vector<Actor*> sleepers;
+  u64 woken = 0;
+  for (int i = 0; i < kSleepers; ++i) {
+    sleepers.push_back(&s.spawn("sleeper" + std::to_string(i), [&] {
+      while (s.current()->clock() < 1'000'000) {
+        if (s.block_until(s.current()->clock() + 10'000) ==
+            WakeReason::kWoken) {
+          ++woken;
+        }
+      }
+    }));
+  }
+  std::size_t max_heap = 0;
+  s.spawn("storm", [&] {
+    u32 lcg = 0xdecafu;
+    for (u64 r = 0; r < kRounds; ++r) {
+      // A burst of wakes, many re-keying the same still-blocked actors
+      // repeatedly — exactly the churn that used to pile up tombstones.
+      for (int k = 0; k < kSleepers * 4; ++k) {
+        lcg = lcg * 1664525u + 1013904223u;
+        Actor& target = *sleepers[lcg % kSleepers];
+        s.wake(target, s.current()->clock() + 1 + lcg % 97);
+        max_heap = std::max(max_heap, s.heap_size());
+      }
+      s.current()->advance(4'000);
+      s.yield();
+    }
+  });
+  s.run();
+  EXPECT_GT(woken, 0u);
+  // +1 for the storm actor itself. The old implementation peaked at
+  // thousands of entries under this load.
+  EXPECT_LE(max_heap, static_cast<std::size_t>(kSleepers) + 1);
+}
+
 }  // namespace
 }  // namespace msvm::sim

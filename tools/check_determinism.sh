@@ -1,0 +1,43 @@
+#!/bin/sh
+# Determinism gate: runs the fig9 Laplace bench twice with the same seed
+# in separate scratch directories and byte-compares the emitted
+# BENCH_fig9.json. The simulation derives every number from virtual time,
+# so any divergence between the two runs means nondeterminism leaked into
+# the substrate (host-pointer ordering, uninitialised reads, wall-clock
+# coupling) — the property every baseline byte-comparison in CI stands on.
+#
+# Usage: check_determinism.sh <path-to-fig9_laplace> [--seed=N]
+set -u
+
+BIN=${1:?usage: check_determinism.sh <fig9_laplace binary> [--seed=N]}
+SEED=${2:---seed=42}
+
+case "$BIN" in
+/*) ;;
+*) BIN=$(pwd)/$BIN ;;
+esac
+[ -x "$BIN" ] || {
+  echo "determinism-gate: $BIN is not executable" >&2
+  exit 1
+}
+
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+mkdir "$TMP/run1" "$TMP/run2"
+
+(cd "$TMP/run1" && "$BIN" --quick "$SEED" >/dev/null) || {
+  echo "determinism-gate: first run failed" >&2
+  exit 1
+}
+(cd "$TMP/run2" && "$BIN" --quick "$SEED" >/dev/null) || {
+  echo "determinism-gate: second run failed" >&2
+  exit 1
+}
+
+if ! cmp -s "$TMP/run1/BENCH_fig9.json" "$TMP/run2/BENCH_fig9.json"; then
+  echo "determinism-gate: FAIL: BENCH_fig9.json differs between two" \
+       "runs with $SEED" >&2
+  diff "$TMP/run1/BENCH_fig9.json" "$TMP/run2/BENCH_fig9.json" >&2
+  exit 1
+fi
+echo "determinism-gate: BENCH_fig9.json byte-identical across two runs"
