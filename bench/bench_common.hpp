@@ -19,6 +19,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "sccsim/config.hpp"
 #include "sim/faults.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
@@ -69,6 +70,21 @@ inline u64 arg_seed(int argc, char** argv, u64 fallback = 42) {
 /// The per-run workload generator, threaded from --seed: deterministic
 /// across platforms (xoshiro256**), reproducible from the JSON record.
 inline sim::Rng seeded_rng(u64 seed) { return sim::Rng(seed); }
+
+/// The core-count override for scale sweeps ("--cores=N"). Validated
+/// against the supported range here so every bench rejects a bad count
+/// with a clear message instead of tripping config validation later.
+inline int arg_cores(int argc, char** argv, int fallback = 48) {
+  const int cores = static_cast<int>(
+      arg_u64(argc, argv, "cores", static_cast<u64>(fallback)));
+  if (cores == fallback) return cores;  // sentinel fallbacks pass through
+  if (cores < 1 || cores > 1024) {
+    std::fprintf(stderr, "--cores=%d outside the supported [1, 1024]\n",
+                 cores);
+    std::exit(2);
+  }
+  return cores;
+}
 
 /// Parses "--key=string" overrides from argv.
 inline std::string arg_str(int argc, char** argv, const std::string& key,
@@ -163,11 +179,15 @@ class JsonReport {
     config("seed", seed);
   }
 
-  /// Preferred form: records the --seed and wires up the uniform
-  /// observability flag block (--trace/--metrics/--heatmap) in one go.
+  /// Preferred form: records the --seed, wires up the uniform
+  /// observability flag block (--trace/--metrics/--heatmap), and stamps
+  /// the default 48-core SCC topology into the header — every
+  /// fixed-topology bench runs that die. Sweeping benches (scaling) use
+  /// the seed constructor and record their own topology block.
   JsonReport(std::string name, int argc, char** argv)
       : JsonReport(std::move(name), arg_seed(argc, argv)) {
     obs_setup(argc, argv);
+    topology(scc::TopologySpec{}, 48);
   }
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
@@ -181,6 +201,18 @@ class JsonReport {
   }
   void config(const std::string& key, double value) {
     config_.emplace_back(key, fmt_double(value));
+  }
+
+  /// Records the chip geometry (mesh columns/rows, cores per tile, chip
+  /// count, core count) so every stored BENCH_*.json names the die(s) it
+  /// ran on and baselines are self-describing.
+  void topology(const scc::TopologySpec& spec, int cores) {
+    const scc::Topology topo(spec);
+    config("cores", static_cast<u64>(cores));
+    config("mesh_cols", static_cast<u64>(topo.cols()));
+    config("mesh_rows", static_cast<u64>(topo.rows()));
+    config("cores_per_tile", static_cast<u64>(topo.cores_per_tile()));
+    config("chips", static_cast<u64>(topo.num_chips()));
   }
 
   void sample(const std::string& series, double value) {

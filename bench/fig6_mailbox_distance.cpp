@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
               "IPI [us]");
   bench::print_row_sep();
   for (const Pair& pair : pairs) {
-    if (scc::Mesh::hops_between_cores(0, pair.partner) != pair.hops) {
+    if (scc::Topology::scc_default().hops_between_cores(0, pair.partner) !=
+        pair.hops) {
       std::fprintf(stderr, "internal: unexpected hop count\n");
       return 1;
     }

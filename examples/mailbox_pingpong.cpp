@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   p.core_b = argc > 2 ? std::atoi(argv[2]) : 30;
   p.reps = 100;
 
-  const int hops = scc::Mesh::hops_between_cores(p.core_a, p.core_b);
+  const int hops =
+      scc::Topology::scc_default().hops_between_cores(p.core_a, p.core_b);
   std::printf("mailbox ping-pong core %d <-> core %d (%d mesh hops)\n",
               p.core_a, p.core_b, hops);
 

@@ -35,8 +35,8 @@ void Kernel::boot() {
   heap_end_ = scc::kPrivVBase + cfg.private_dram_bytes;
 
   // Interrupt dispatch: fan out to every registered client.
-  core_.set_ipi_handler([this](scc::Core&, u64 mask) {
-    for (auto& h : ipi_handlers_) h(mask);
+  core_.set_ipi_handler([this](scc::Core&, const scc::IpiSourceSet& sources) {
+    for (auto& h : ipi_handlers_) h(sources);
   });
   core_.set_timer_handler([this](scc::Core&) {
     for (auto& h : timer_handlers_) h();

@@ -93,7 +93,7 @@ class Kernel {
 
   // ---- interrupt clients ----
 
-  using IpiCallback = std::function<void(u64 source_mask)>;
+  using IpiCallback = std::function<void(const scc::IpiSourceSet& sources)>;
   using TimerCallback = std::function<void()>;
 
   void add_ipi_handler(IpiCallback cb) {

@@ -44,10 +44,8 @@ MailboxSystem::MailboxSystem(kernel::Kernel& kernel,
   if (use_ipi_) {
     // Event-driven path: check exactly the slots of the cores that raised
     // the interrupt.
-    kernel_.add_ipi_handler([this](u64 source_mask) {
-      for (int src = 0; source_mask != 0; ++src, source_mask >>= 1) {
-        if (source_mask & 1) poll_from(src);
-      }
+    kernel_.add_ipi_handler([this](const scc::IpiSourceSet& sources) {
+      sources.for_each([this](int src) { poll_from(src); });
     });
     if (cfg_.sweep_period > 0) {
       // Low-rate safety net against lost interrupts: every Nth timer
@@ -179,10 +177,8 @@ void MailboxSystem::send(int dest, const Mail& mail) {
       // from handler context would deadlock on full slots.
       scc::Gic& gic = core_.chip().gic();
       if (gic.has_pending(core_.id())) {
-        u64 mask = gic.take_pending(core_.id());
-        for (int src = 0; mask != 0; ++src, mask >>= 1) {
-          if (mask & 1) poll_from(src);
-        }
+        const scc::IpiSourceSet sources = gic.take_pending(core_.id());
+        sources.for_each([this](int src) { poll_from(src); });
       } else if (cfg_.sweep_period > 0 && ++stall_spins % 16 == 0) {
         // A deposit whose IPI was lost is invisible to the GIC drain,
         // and the timer-driven sweep cannot nest into handler context:
@@ -211,6 +207,19 @@ int MailboxSystem::multicast(u64 dest_mask, const Mail& mail) {
     }
   }
   assert(dest_mask == 0 && "multicast mask names a core beyond num_cores");
+  return sent;
+}
+
+int MailboxSystem::multicast(const std::vector<int>& dests,
+                             const Mail& mail) {
+  ++stats_.multicasts;
+  int sent = 0;
+  for (const int dest : dests) {
+    if (dest == core_.id()) continue;  // never self: poll skips our slot
+    assert(dest >= 0 && dest < core_.chip().num_cores());
+    send(dest, mail);
+    ++sent;
+  }
   return sent;
 }
 

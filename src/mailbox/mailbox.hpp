@@ -134,6 +134,11 @@ class MailboxSystem {
   /// Returns the number of mails sent.
   int multicast(u64 dest_mask, const Mail& mail);
 
+  /// List-typed fan-out for chips wider than 64 cores (the SVM layer
+  /// materialises its SharerSet into a destination list). Same semantics
+  /// as the mask overload: the calling core is skipped.
+  int multicast(const std::vector<int>& dests, const Mail& mail);
+
   /// Registers a handler for a mail type. Handled types never reach the
   /// inbox; the handler runs in whatever context noticed the mail
   /// (interrupt, idle loop, or a wait loop).

@@ -18,6 +18,15 @@ Rcce::Rcce(kernel::Kernel& kernel, std::vector<int> members)
       core_(kernel.core()),
       members_(std::move(members)),
       recv_queues_(members_.size()) {
+  const scc::Chip& chip = core_.chip();
+  const mbox::Layout layout = mbox::Layout::make(
+      chip.topology().max_cores(), chip.config().mpb_bytes);
+  const u32 n = static_cast<u32>(layout.max_cores);
+  comm_off_ = layout.rcce_offset;
+  sent_off_ = comm_off_ + kChunkBytes;
+  ack_off_ = sent_off_ + n;
+  arrive_off_ = ack_off_ + n;
+  release_off_ = arrive_off_ + n;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     if (members_[i] == core_.id()) rank_ = static_cast<int>(i);
   }
@@ -56,7 +65,7 @@ void Rcce::put(int target_rank, u32 mpb_off, u64 src_vaddr, u32 bytes) {
   while (bytes > 0) {
     const u32 seg = std::min<u32>(bytes, sizeof(buf));
     core_.vread(src_vaddr, buf, seg);
-    core_.pwrite(mpb_paddr(target_core, kCommBufOffset + mpb_off), buf,
+    core_.pwrite(mpb_paddr(target_core, comm_off_ + mpb_off), buf,
                  seg, scc::MemPolicy::kUncached);
     src_vaddr += seg;
     mpb_off += seg;
@@ -70,7 +79,7 @@ void Rcce::get(u64 dst_vaddr, int source_rank, u32 mpb_off, u32 bytes) {
   u8 buf[256];
   while (bytes > 0) {
     const u32 seg = std::min<u32>(bytes, sizeof(buf));
-    core_.pread(mpb_paddr(source_core, kCommBufOffset + mpb_off), buf, seg,
+    core_.pread(mpb_paddr(source_core, comm_off_ + mpb_off), buf, seg,
                 scc::MemPolicy::kUncached);
     core_.vwrite(dst_vaddr, buf, seg);
     dst_vaddr += seg;
@@ -145,8 +154,8 @@ bool Rcce::progress_send(Request& req) {
   if (req.chunk_in_flight_) {
     // Has the receiver drained the previous chunk?
     if (mpb_read8(core_.id(),
-                  kAckFlagsOffset + static_cast<u32>(dest_core)) == 1) {
-      mpb_write8(core_.id(), kAckFlagsOffset + static_cast<u32>(dest_core),
+                  ack_off_ + static_cast<u32>(dest_core)) == 1) {
+      mpb_write8(core_.id(), ack_off_ + static_cast<u32>(dest_core),
                  0);
       const u32 chunk =
           std::min(kChunkBytes, req.bytes_ - req.progress_);
@@ -167,7 +176,7 @@ bool Rcce::progress_send(Request& req) {
     u8 buf[256];
     u64 src = req.vaddr_ + req.progress_;
     u32 left = chunk;
-    u32 off = kCommBufOffset;
+    u32 off = comm_off_;
     while (left > 0) {
       const u32 seg = std::min<u32>(left, sizeof(buf));
       core_.vread(src, buf, seg);
@@ -177,7 +186,7 @@ bool Rcce::progress_send(Request& req) {
       off += seg;
       left -= seg;
     }
-    mpb_write8(dest_core, kSentFlagsOffset + static_cast<u32>(core_.id()),
+    mpb_write8(dest_core, sent_off_ + static_cast<u32>(core_.id()),
                1);
     ++stats_.chunks;
     req.chunk_in_flight_ = true;
@@ -189,16 +198,16 @@ bool Rcce::progress_send(Request& req) {
 bool Rcce::progress_recv(Request& req) {
   const int source_core = core_of(req.peer_rank_);
   if (mpb_read8(core_.id(),
-                kSentFlagsOffset + static_cast<u32>(source_core)) != 1) {
+                sent_off_ + static_cast<u32>(source_core)) != 1) {
     return false;
   }
-  mpb_write8(core_.id(), kSentFlagsOffset + static_cast<u32>(source_core),
+  mpb_write8(core_.id(), sent_off_ + static_cast<u32>(source_core),
              0);
   const u32 chunk = std::min(kChunkBytes, req.bytes_ - req.progress_);
   u8 buf[256];
   u64 dst = req.vaddr_ + req.progress_;
   u32 left = chunk;
-  u32 off = kCommBufOffset;
+  u32 off = comm_off_;
   while (left > 0) {
     const u32 seg = std::min<u32>(left, sizeof(buf));
     core_.pread(mpb_paddr(source_core, off), buf, seg,
@@ -209,7 +218,7 @@ bool Rcce::progress_recv(Request& req) {
     left -= seg;
   }
   // Tell the sender its buffer is free again.
-  mpb_write8(source_core, kAckFlagsOffset + static_cast<u32>(core_.id()),
+  mpb_write8(source_core, ack_off_ + static_cast<u32>(core_.id()),
              1);
   req.progress_ += chunk;
   if (req.progress_ >= req.bytes_) req.done_ = true;
@@ -248,7 +257,7 @@ void Rcce::barrier() {
   if (rank_ == 0) {
     // Gather: wait for every member's arrival byte to carry this sense.
     for (int r = 1; r < size(); ++r) {
-      const u32 off = kBarrierArriveOffset + static_cast<u32>(core_of(r));
+      const u32 off = arrive_off_ + static_cast<u32>(core_of(r));
       TimePs gap = 200 * kPsPerNs;
       while (mpb_read8(core_.id(), off) != sense) {
         core_.relax(gap);
@@ -257,13 +266,13 @@ void Rcce::barrier() {
     }
     // Release everyone.
     for (int r = 1; r < size(); ++r) {
-      mpb_write8(core_of(r), kBarrierReleaseOffset, sense);
+      mpb_write8(core_of(r), release_off_, sense);
     }
   } else {
     mpb_write8(master_core,
-               kBarrierArriveOffset + static_cast<u32>(core_.id()), sense);
+               arrive_off_ + static_cast<u32>(core_.id()), sense);
     TimePs gap = 200 * kPsPerNs;
-    while (mpb_read8(core_.id(), kBarrierReleaseOffset) != sense) {
+    while (mpb_read8(core_.id(), release_off_) != sense) {
       core_.relax(gap);
       gap = std::min<TimePs>(gap * 2, 50 * kPsPerUs);
     }

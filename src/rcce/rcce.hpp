@@ -16,12 +16,14 @@
 // adds is exactly what this layer lacks, which is the paper's argument
 // for building the mailbox at all.
 //
-// MPB sub-layout within the RCCE share [kRcceOffset, 8192):
-//   +0    .. +4096 : communication buffer (one in-flight chunk)
-//   +4096 .. +4144 : sent flags, byte per source core
-//   +4144 .. +4192 : ack flags, byte per destination core
-//   +4192 .. +4240 : barrier arrival bytes (master-resident)
-//   +4240 .. +4241 : barrier release byte
+// MPB sub-layout within the RCCE share [rcce_offset, mpb_bytes), computed
+// at runtime from the die's maximum core count n (mbox::Layout; at the
+// 48-core SCC this is [3584, 8192) with the historical constants):
+//   +0         .. +4096      : communication buffer (one in-flight chunk)
+//   +4096      .. +4096+n    : sent flags, byte per source core
+//   +4096+n    .. +4096+2n   : ack flags, byte per destination core
+//   +4096+2n   .. +4096+3n   : barrier arrival bytes (master-resident)
+//   +4096+3n   .. +4096+3n+1 : barrier release byte
 #pragma once
 
 #include <cassert>
@@ -36,13 +38,6 @@
 namespace msvm::rcce {
 
 inline constexpr u32 kChunkBytes = 4096;
-inline constexpr u32 kCommBufOffset = mbox::kRcceOffset;
-inline constexpr u32 kSentFlagsOffset = kCommBufOffset + kChunkBytes;
-inline constexpr u32 kAckFlagsOffset = kSentFlagsOffset + mbox::kMaxCores;
-inline constexpr u32 kBarrierArriveOffset =
-    kAckFlagsOffset + mbox::kMaxCores;
-inline constexpr u32 kBarrierReleaseOffset =
-    kBarrierArriveOffset + mbox::kMaxCores;
 
 struct RcceStats {
   u64 sends = 0;
@@ -166,6 +161,14 @@ class Rcce {
   std::vector<int> members_;
   int rank_ = -1;
   RcceStats stats_;
+
+  // Runtime MPB offsets of the RCCE share (see file comment), derived
+  // from mbox::Layout at construction. Identical on every member.
+  u32 comm_off_ = 0;
+  u32 sent_off_ = 0;
+  u32 ack_off_ = 0;
+  u32 arrive_off_ = 0;
+  u32 release_off_ = 0;
 
   // FIFO of pending sends (they share the single comm buffer) and of
   // pending receives per source rank (channel order must match).

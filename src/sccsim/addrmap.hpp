@@ -49,7 +49,12 @@ struct PhysTarget {
 
 class AddrMap {
  public:
-  explicit AddrMap(const ChipConfig& cfg) : cfg_(cfg) {}
+  explicit AddrMap(const ChipConfig& cfg)
+      : cfg_(cfg), topo_(cfg.topology) {}
+
+  /// The runtime topology backing this map (and, via Chip::topology(),
+  /// the whole chip: the map is constructed first and owns the instance).
+  const Topology& topology() const { return topo_; }
 
   u64 shared_base() const { return kSharedBase; }
   u64 shared_size() const { return cfg_.shared_dram_bytes; }
@@ -69,15 +74,18 @@ class AddrMap {
   /// split into four equal quarters, one per MC, so that the first-touch
   /// allocator can place frames near a core.
   int mc_of_shared_offset(u64 offset) const {
-    const u64 quarter = cfg_.shared_dram_bytes / Mesh::kNumMemControllers;
+    const int nmc = topo_.num_mem_controllers();
+    const u64 quarter = cfg_.shared_dram_bytes / static_cast<u64>(nmc);
     const u64 mc = offset / quarter;
-    return static_cast<int>(
-        mc < Mesh::kNumMemControllers ? mc : Mesh::kNumMemControllers - 1);
+    return static_cast<int>(mc < static_cast<u64>(nmc)
+                                ? mc
+                                : static_cast<u64>(nmc) - 1);
   }
 
   /// Range of shared-DRAM offsets served by `mc`: [first, last).
   std::pair<u64, u64> shared_range_of_mc(int mc) const {
-    const u64 quarter = cfg_.shared_dram_bytes / Mesh::kNumMemControllers;
+    const u64 quarter =
+        cfg_.shared_dram_bytes / static_cast<u64>(topo_.num_mem_controllers());
     return {static_cast<u64>(mc) * quarter,
             static_cast<u64>(mc + 1) * quarter};
   }
@@ -92,7 +100,7 @@ class AddrMap {
                                 cfg_.private_dram_bytes) {
       const u64 off = paddr - kPrivBase;
       const int core = static_cast<int>(off / cfg_.private_dram_bytes);
-      return {MemKind::kPrivateDram, Mesh::nearest_mc(core),
+      return {MemKind::kPrivateDram, topo_.nearest_mc(core),
               off % cfg_.private_dram_bytes +
                   static_cast<u64>(core) * cfg_.private_dram_bytes};
     }
@@ -103,8 +111,11 @@ class AddrMap {
       return {MemKind::kMpb, static_cast<int>(off / cfg_.mpb_bytes),
               off % cfg_.mpb_bytes};
     }
+    // The TAS register file is a die resource: all max_cores() registers
+    // exist even when fewer cores run programs (application locks use the
+    // upper half of the file regardless of the member count).
     if (paddr >= kTasBase &&
-        paddr < kTasBase + static_cast<u64>(cfg_.num_cores) * 8) {
+        paddr < kTasBase + static_cast<u64>(topo_.max_cores()) * 8) {
       const u64 off = paddr - kTasBase;
       return {MemKind::kTas, static_cast<int>(off / 8), off % 8};
     }
@@ -120,6 +131,7 @@ class AddrMap {
 
  private:
   const ChipConfig& cfg_;
+  Topology topo_;
 };
 
 }  // namespace msvm::scc

@@ -31,6 +31,8 @@ class Chip {
 
   const ChipConfig& config() const { return cfg_; }
   const AddrMap& map() const { return memory_.map(); }
+  /// Runtime mesh topology (owned by the address map, built first).
+  const Topology& topology() const { return memory_.map().topology(); }
   Memory& memory() { return memory_; }
   const LatencyModel& latency() const { return latency_; }
   Gic& gic() { return gic_; }

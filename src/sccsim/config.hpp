@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
+#include "sccsim/mesh.hpp"
 #include "sim/faults.hpp"
 #include "sim/types.hpp"
 
@@ -15,10 +17,18 @@ namespace msvm::scc {
 
 struct ChipConfig {
   // ---- topology ----
-  int num_cores = 48;   // <= 48 (6x4 mesh of tiles, 2 cores/tile)
+  /// Cores actually running programs; must not exceed the die(s) in
+  /// `topology` (48 on the default SCC mesh, more on multi-chip grids).
+  int num_cores = 48;
+  /// Geometry of the simulated die(s). Default: the exact SCC 6x4 mesh.
+  TopologySpec topology;
   u32 core_mhz = 533;   // paper's benchmark configuration
   u32 mesh_mhz = 800;
   u32 dram_mhz = 800;
+
+  /// Event lanes for the sharded scheduler (1 = the classic single global
+  /// event heap; >1 shards actors by mesh quadrant, see DESIGN.md §12).
+  int sched_lanes = 1;
 
   // ---- memory sizes ----
   u64 shared_dram_bytes = 64ull << 20;   // shared off-die region
@@ -82,5 +92,84 @@ struct ChipConfig {
 
   u64 num_shared_pages() const { return shared_dram_bytes / page_bytes; }
 };
+
+/// Minimum per-core MPB bytes a `max_cores`-core die needs: the mail-slot
+/// region (one 32-byte slot per sender), the SVM scratchpad (2 KiB,
+/// holding the barrier flag block plus page entries), the RCCE comm
+/// buffer (4 KiB) and the RCCE flag/barrier bytes (3 per core + 1).
+/// Mirrors mbox::Layout; kept here so config validation needs no
+/// mailbox-layer include.
+inline u64 min_mpb_bytes(int max_cores) {
+  const u64 n = static_cast<u64>(max_cores);
+  return n * 32 + 2048 + 4096 + 3 * n + 1;
+}
+
+/// Validates a chip configuration; returns an empty string when the
+/// config is runnable, otherwise a human-readable error. Replaces the
+/// old `assert(num_cores <= 48)` hard caps: release builds get a clear
+/// message instead of UB.
+inline std::string validate_config(const ChipConfig& cfg) {
+  const Topology topo(cfg.topology);
+  const auto err = [](std::string msg) { return msg; };
+  if (cfg.num_cores < 1) return err("num_cores must be >= 1");
+  if (cfg.num_cores > 1024) {
+    return err("num_cores " + std::to_string(cfg.num_cores) +
+               " exceeds the supported maximum of 1024");
+  }
+  if (cfg.num_cores > topo.max_cores()) {
+    return err("num_cores " + std::to_string(cfg.num_cores) +
+               " exceeds the configured topology's " +
+               std::to_string(topo.max_cores()) +
+               " cores; use configure_cores() or enlarge the chip grid");
+  }
+  if (cfg.line_bytes == 0 || cfg.line_bytes > 64) {
+    return err("line_bytes must be in [1, 64]");
+  }
+  if (cfg.page_bytes == 0 || cfg.page_bytes % 4096 != 0) {
+    return err("page_bytes must be a non-zero multiple of 4096");
+  }
+  if (cfg.sched_lanes < 1 || cfg.sched_lanes > 64) {
+    return err("sched_lanes must be in [1, 64]");
+  }
+  if (cfg.mpb_bytes < min_mpb_bytes(topo.max_cores())) {
+    return err("mpb_bytes " + std::to_string(cfg.mpb_bytes) +
+               " too small for a " + std::to_string(topo.max_cores()) +
+               "-core die (need " +
+               std::to_string(min_mpb_bytes(topo.max_cores())) +
+               "); use configure_cores()");
+  }
+  // The physical map gives each region a 4 GiB window (see addrmap.hpp).
+  const u64 window = u64{1} << 32;
+  if (cfg.shared_dram_bytes > window) {
+    return err("shared_dram_bytes exceeds the 4 GiB shared window");
+  }
+  if (static_cast<u64>(cfg.num_cores) * cfg.private_dram_bytes > window) {
+    return err("num_cores * private_dram_bytes exceeds the 4 GiB private "
+               "window; shrink private_dram_bytes");
+  }
+  if (static_cast<u64>(cfg.num_cores) * cfg.mpb_bytes > window) {
+    return err("num_cores * mpb_bytes exceeds the 4 GiB MPB window");
+  }
+  return {};
+}
+
+/// One-stop scaling knob: sizes the topology (growing a near-square grid
+/// of SCC dies once past 48 cores), sets `num_cores`, enlarges the
+/// per-core MPB when the die needs more than the SCC's 8 KiB, and shrinks
+/// the per-core private region when the full count would overflow its
+/// 4 GiB physical window. At `cores` <= 48 this leaves every default
+/// untouched, so default runs stay byte-identical.
+inline void configure_cores(ChipConfig& cfg, int cores) {
+  cfg.topology = TopologySpec::for_cores(cores);
+  cfg.num_cores = cores;
+  const Topology topo(cfg.topology);
+  const u64 need = min_mpb_bytes(topo.max_cores());
+  const u64 rounded = (need + 4095) / 4096 * 4096;
+  if (rounded > cfg.mpb_bytes) cfg.mpb_bytes = static_cast<u32>(rounded);
+  const u64 max_priv = (u64{1} << 32) / static_cast<u64>(cores);
+  if (cfg.private_dram_bytes > max_priv) {
+    cfg.private_dram_bytes = max_priv / cfg.page_bytes * cfg.page_bytes;
+  }
+}
 
 }  // namespace msvm::scc

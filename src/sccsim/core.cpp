@@ -26,6 +26,7 @@ constexpr u32 kMaxLineBytes = 64;
 Core::Core(Chip& chip, int id)
     : chip_(chip),
       cfg_(chip.config()),
+      topo_(&chip.topology()),
       id_(id),
       l1_(cfg_.l1_bytes, cfg_.l1_assoc, cfg_.line_bytes),
       l2_(cfg_.l2_bytes, cfg_.l2_assoc, cfg_.line_bytes),
@@ -94,10 +95,10 @@ void Core::deliver_interrupts() {
   // kernel runs handlers with interrupts masked.
   in_irq_ = true;
   if (chip_.gic().has_pending(id_)) {
-    const u64 mask = chip_.gic().take_pending(id_);
+    const IpiSourceSet sources = chip_.gic().take_pending(id_);
     ++counters_.ipi_irqs;
     tick(chip_.latency().irq_entry());
-    if (ipi_handler_) ipi_handler_(*this, mask);
+    if (ipi_handler_) ipi_handler_(*this, sources);
     tick(chip_.latency().irq_exit());
   }
   if (actor_->clock() >= next_timer_) {
@@ -403,7 +404,7 @@ TimePs Core::device_latency(u64 paddr, bool is_write) {
   switch (t.kind) {
     case MemKind::kSharedDram:
     case MemKind::kPrivateDram: {
-      const int hops = Mesh::hops_core_to_mc(id_, t.owner);
+      const int hops = topo_->hops_core_to_mc(id_, t.owner);
       const TimePs queue = chip_.mc_queue_delay(t.owner, actor_->clock());
       if (is_write) {
         ++counters_.dram_writes;
@@ -413,7 +414,7 @@ TimePs Core::device_latency(u64 paddr, bool is_write) {
       return lat.dram_access(hops) + queue;
     }
     case MemKind::kMpb: {
-      const int hops = Mesh::hops_between_cores(id_, t.owner);
+      const int hops = topo_->hops_between_cores(id_, t.owner);
       if (is_write) {
         ++counters_.mpb_writes;
         return lat.mpb_write(hops);
@@ -488,7 +489,7 @@ void Core::flush_wcb() {
 
 bool Core::tas_try_acquire(int reg) {
   const int hops =
-      Mesh::hops(Mesh::coord_of_core(id_), Mesh::coord_of_core(reg));
+      topo_->hops(topo_->coord_of_core(id_), topo_->coord_of_core(reg));
   tick(chip_.latency().tas_access(hops));
   ++counters_.tas_acquires;
   const bool got = chip_.memory().tas_read_acquire(reg);
@@ -498,13 +499,13 @@ bool Core::tas_try_acquire(int reg) {
 
 void Core::tas_release(int reg) {
   const int hops =
-      Mesh::hops(Mesh::coord_of_core(id_), Mesh::coord_of_core(reg));
+      topo_->hops(topo_->coord_of_core(id_), topo_->coord_of_core(reg));
   tick(chip_.latency().tas_access(hops));
   chip_.memory().tas_write_release(reg);
 }
 
 void Core::raise_ipi(int target) {
-  const int hops = Mesh::hops_core_to_system_if(id_);
+  const int hops = topo_->hops_core_to_system_if(id_);
   tick(chip_.latency().gic_access(hops));
   ++counters_.ipis_sent;
   obs::EventBus& bus = chip_.bus();

@@ -24,6 +24,7 @@
 #include "sccsim/cache.hpp"
 #include "sccsim/config.hpp"
 #include "sccsim/counters.hpp"
+#include "sccsim/gic.hpp"
 #include "sccsim/pagetable.hpp"
 #include "sccsim/wcb.hpp"
 #include "sim/scheduler.hpp"
@@ -126,7 +127,7 @@ class Core {
 
   using FaultHandler = std::function<void(Core&, u64 vaddr, bool is_write)>;
   using TimerHandler = std::function<void(Core&)>;
-  using IpiHandler = std::function<void(Core&, u64 source_mask)>;
+  using IpiHandler = std::function<void(Core&, const IpiSourceSet& sources)>;
 
   void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
   void set_timer_handler(TimerHandler h) { timer_handler_ = std::move(h); }
@@ -273,6 +274,7 @@ class Core {
 
   Chip& chip_;
   const ChipConfig& cfg_;
+  const Topology* topo_;  // cached for the device-latency hot path
   int id_;
   sim::Actor* actor_ = nullptr;
 

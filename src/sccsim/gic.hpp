@@ -10,8 +10,14 @@
 // register-access latency is charged by the accessing Core, and target
 // wake-up is delegated to the Chip via `wake_fn` so a halted core resumes
 // when the interrupt arrives.
+//
+// The pending mask is multi-word so the controller scales past 64 cores
+// (parameterized topologies go to 1024): IpiSourceSet is the value type
+// handed to handlers — a fixed-capacity bitset whose populated width is
+// ceil(num_cores / 64) words.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <functional>
 #include <vector>
@@ -20,10 +26,59 @@
 
 namespace msvm::scc {
 
+/// Which cores raised the interrupt(s) being delivered. Fixed capacity of
+/// 1024 sources (the topology validation cap); only the first `nwords`
+/// words are meaningful for a given chip.
+struct IpiSourceSet {
+  static constexpr int kMaxWords = 16;  // 16 * 64 = 1024 sources
+
+  std::array<u64, kMaxWords> words{};
+  int nwords = 1;
+
+  bool any() const {
+    for (int i = 0; i < nwords; ++i) {
+      if (words[static_cast<std::size_t>(i)] != 0) return true;
+    }
+    return false;
+  }
+
+  void set(int source) {
+    assert(source >= 0 && source < nwords * 64);
+    words[static_cast<std::size_t>(source / 64)] |= u64{1} << (source % 64);
+  }
+
+  bool test(int source) const {
+    if (source < 0 || source >= nwords * 64) return false;
+    return (words[static_cast<std::size_t>(source / 64)] >>
+            (source % 64)) & 1;
+  }
+
+  /// Calls `fn(source)` for every set source, in ascending order.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (int w = 0; w < nwords; ++w) {
+      u64 bits = words[static_cast<std::size_t>(w)];
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        fn(w * 64 + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Compatibility view for <= 64-core chips (tests, log lines).
+  u64 word0() const { return words[0]; }
+};
+
 class Gic {
  public:
   explicit Gic(int num_cores)
-      : pending_(static_cast<std::size_t>(num_cores), 0) {}
+      : nwords_((num_cores + 63) / 64),
+        pending_(static_cast<std::size_t>(num_cores) *
+                     static_cast<std::size_t>(nwords_),
+                 0) {
+    assert(num_cores >= 1 && nwords_ <= IpiSourceSet::kMaxWords);
+  }
 
   /// Callback installed by the Chip: wake `target`'s actor at time `at`.
   std::function<void(int target, TimePs at)> wake_fn;
@@ -33,9 +88,7 @@ class Gic {
   /// observes the interrupt no earlier than `at` plus the wire delay the
   /// Chip folds into wake_fn.
   void raise(int target, int source, TimePs at) {
-    assert(target >= 0 &&
-           static_cast<std::size_t>(target) < pending_.size());
-    pending_[static_cast<std::size_t>(target)] |= u64{1} << source;
+    set_pending(target, source);
     if (wake_fn) wake_fn(target, at);
   }
 
@@ -44,26 +97,49 @@ class Gic {
   /// slow interrupt: the pending bit is set immediately (the GIC write
   /// happened), only the delivery to the halted core lags.
   void raise_delayed(int target, int source, TimePs at, TimePs extra) {
-    assert(target >= 0 &&
-           static_cast<std::size_t>(target) < pending_.size());
-    pending_[static_cast<std::size_t>(target)] |= u64{1} << source;
+    set_pending(target, source);
     if (wake_fn) wake_fn(target, at + extra);
   }
 
   bool has_pending(int core) const {
-    return pending_[static_cast<std::size_t>(core)] != 0;
+    const u64* row = row_of(core);
+    for (int w = 0; w < nwords_; ++w) {
+      if (row[w] != 0) return true;
+    }
+    return false;
   }
 
-  /// Atomically fetches and clears the pending-source bitmask — the
-  /// "which core raised it" status read of the sccKit GIC.
-  u64 take_pending(int core) {
-    const u64 mask = pending_[static_cast<std::size_t>(core)];
-    pending_[static_cast<std::size_t>(core)] = 0;
-    return mask;
+  /// Atomically fetches and clears the pending-source set — the "which
+  /// core raised it" status read of the sccKit GIC.
+  IpiSourceSet take_pending(int core) {
+    IpiSourceSet set;
+    set.nwords = nwords_;
+    u64* row = row_of(core);
+    for (int w = 0; w < nwords_; ++w) {
+      set.words[static_cast<std::size_t>(w)] = row[w];
+      row[w] = 0;
+    }
+    return set;
   }
 
  private:
-  std::vector<u64> pending_;
+  void set_pending(int target, int source) {
+    assert(source >= 0 && source < nwords_ * 64);
+    row_of(target)[source / 64] |= u64{1} << (source % 64);
+  }
+
+  u64* row_of(int core) {
+    assert(core >= 0 && static_cast<std::size_t>(core) * nwords_ <
+                            pending_.size() + 1);
+    return pending_.data() +
+           static_cast<std::size_t>(core) * static_cast<std::size_t>(nwords_);
+  }
+  const u64* row_of(int core) const {
+    return const_cast<Gic*>(this)->row_of(core);
+  }
+
+  int nwords_;
+  std::vector<u64> pending_;  // num_cores rows of nwords_ words
 };
 
 }  // namespace msvm::scc

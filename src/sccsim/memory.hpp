@@ -29,8 +29,8 @@ class Memory {
                  0),
         mpb_(static_cast<std::size_t>(cfg.num_cores) * cfg.mpb_bytes, 0),
         // The Test-and-Set register file is a fixed hardware resource of
-        // the full die, independent of how many cores run programs.
-        tas_(static_cast<std::size_t>(Mesh::kMaxCores), 0) {}
+        // the full die(s), independent of how many cores run programs.
+        tas_(static_cast<std::size_t>(map_.topology().max_cores()), 0) {}
 
   const AddrMap& map() const { return map_; }
 

@@ -1,13 +1,24 @@
-// SCC on-die mesh topology: 6x4 tiles, two cores per tile, four memory
-// controllers attached at the mesh edges (tiles (0,0), (0,2), (5,0),
-// (5,2)), and the system interface FPGA (hosting the Global Interrupt
-// Controller) at router (3,0). Routing is dimension-ordered (X then Y), so
-// the latency-relevant quantity is simply the Manhattan distance.
+// On-die mesh topology, parameterized at runtime.
+//
+// The default instance is the Intel SCC: 6x4 tiles, two cores per tile,
+// four memory controllers attached at the mesh edges (tiles (0,0), (5,0),
+// (0,2), (5,2)), and the system interface FPGA (hosting the Global
+// Interrupt Controller) at router (3,0). Routing is dimension-ordered
+// (X then Y), so the latency-relevant quantity is the Manhattan distance.
+//
+// To scale past one die, identical chips tile into a chips_x x chips_y
+// super-mesh: tile coordinates are global, but tile/core *numbering* is
+// chip-major (cores 0..47 fill chip 0, 48..95 chip 1, ...), so each chip
+// keeps a contiguous core range next to its own four memory controllers
+// (ids also chip-major). Crossing a chip boundary costs
+// `interchip_hop_cost` extra hops per boundary in each dimension
+// (modelling an off-die link as a slower mesh segment). With one chip the
+// math reduces exactly to the classic SCC mesh.
 #pragma once
 
-#include <array>
 #include <cassert>
 #include <cstdlib>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -19,75 +30,179 @@ struct TileCoord {
   bool operator==(const TileCoord&) const = default;
 };
 
-class Mesh {
+/// Plain-data description of a chip topology; ChipConfig carries one.
+/// The default is the exact SCC die.
+struct TopologySpec {
+  int tile_cols = 6;        // tiles per chip, X
+  int tile_rows = 4;        // tiles per chip, Y
+  int cores_per_tile = 2;
+  int chips_x = 1;          // chips in the super-mesh, X
+  int chips_y = 1;          // chips in the super-mesh, Y
+  int interchip_hop_cost = 4;  // extra hops per chip boundary crossed
+
+  bool operator==(const TopologySpec&) const = default;
+
+  /// Smallest chip grid of SCC dies that provides at least `cores` cores
+  /// (near-square, X grows first). `cores` <= 48 keeps the single die.
+  static TopologySpec for_cores(int cores) {
+    TopologySpec spec;
+    const int per_chip = spec.tile_cols * spec.tile_rows * spec.cores_per_tile;
+    if (cores <= per_chip) return spec;
+    const int chips = (cores + per_chip - 1) / per_chip;
+    int cx = 1;
+    while (cx * cx < chips) ++cx;
+    spec.chips_x = cx;
+    spec.chips_y = (chips + cx - 1) / cx;
+    return spec;
+  }
+};
+
+/// Runtime topology: geometry queries plus precomputed per-core tables on
+/// the hot paths (nearest MC, hops to each MC, hops to the system IF).
+/// Construction is cheap enough to do once per Chip.
+class Topology {
  public:
-  static constexpr int kCols = 6;
-  static constexpr int kRows = 4;
-  static constexpr int kTiles = kCols * kRows;
-  static constexpr int kCoresPerTile = 2;
-  static constexpr int kMaxCores = kTiles * kCoresPerTile;
-  static constexpr int kNumMemControllers = 4;
-
-  /// Tile hosting a given core. Cores are numbered as on the SCC: core c
-  /// lives on tile c/2.
-  static int tile_of_core(int core) {
-    assert(core >= 0 && core < kMaxCores);
-    return core / kCoresPerTile;
+  explicit Topology(const TopologySpec& spec = {}) : spec_(spec) {
+    assert(spec_.tile_cols >= 1 && spec_.tile_rows >= 1 &&
+           spec_.cores_per_tile >= 1 && spec_.chips_x >= 1 &&
+           spec_.chips_y >= 1 && spec_.interchip_hop_cost >= 0);
+    const int cores = max_cores();
+    const int mcs = num_mem_controllers();
+    coord_of_core_.reserve(static_cast<std::size_t>(cores));
+    nearest_mc_.reserve(static_cast<std::size_t>(cores));
+    hops_sysif_.reserve(static_cast<std::size_t>(cores));
+    hops_mc_.reserve(static_cast<std::size_t>(cores) *
+                     static_cast<std::size_t>(mcs));
+    for (int c = 0; c < cores; ++c) {
+      const TileCoord at = coord_of_tile(c / spec_.cores_per_tile);
+      coord_of_core_.push_back(at);
+      int best = 0;
+      int best_hops = hops(at, mem_controller_coord(0));
+      hops_mc_.push_back(best_hops);
+      for (int mc = 1; mc < mcs; ++mc) {
+        const int h = hops(at, mem_controller_coord(mc));
+        hops_mc_.push_back(h);
+        if (h < best_hops) {  // ties break to the lower MC id
+          best = mc;
+          best_hops = h;
+        }
+      }
+      nearest_mc_.push_back(best);
+      hops_sysif_.push_back(hops(at, system_interface_coord()));
+    }
   }
 
-  static TileCoord coord_of_tile(int tile) {
-    assert(tile >= 0 && tile < kTiles);
-    return TileCoord{tile % kCols, tile / kCols};
+  const TopologySpec& spec() const { return spec_; }
+
+  // ---- geometry ----
+
+  /// Total mesh columns/rows across the whole chip grid.
+  int cols() const { return spec_.tile_cols * spec_.chips_x; }
+  int rows() const { return spec_.tile_rows * spec_.chips_y; }
+  int tiles() const { return cols() * rows(); }
+  int cores_per_tile() const { return spec_.cores_per_tile; }
+  /// Cores the die(s) provide; ChipConfig::num_cores may use fewer.
+  int max_cores() const { return tiles() * cores_per_tile(); }
+  int num_chips() const { return spec_.chips_x * spec_.chips_y; }
+  /// Four DDR3 controllers per chip, ids chip-major.
+  int num_mem_controllers() const { return 4 * num_chips(); }
+
+  /// Tile hosting a given core; core c lives on tile c/cores_per_tile,
+  /// as on the SCC.
+  int tile_of_core(int core) const {
+    assert(core >= 0 && core < max_cores());
+    return core / spec_.cores_per_tile;
   }
 
-  static TileCoord coord_of_core(int core) {
-    return coord_of_tile(tile_of_core(core));
+  /// Tile numbering is chip-major: each chip's tiles are numbered locally
+  /// row-major, chips in row-major grid order. One chip degenerates to a
+  /// plain row-major mesh.
+  TileCoord coord_of_tile(int tile) const {
+    assert(tile >= 0 && tile < tiles());
+    const int per_chip = spec_.tile_cols * spec_.tile_rows;
+    const int chip = tile / per_chip;
+    const int local = tile % per_chip;
+    return TileCoord{
+        (chip % spec_.chips_x) * spec_.tile_cols + local % spec_.tile_cols,
+        (chip / spec_.chips_x) * spec_.tile_rows + local / spec_.tile_cols};
   }
 
-  /// Manhattan distance between two tiles (XY routing).
-  static int hops(TileCoord a, TileCoord b) {
-    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  TileCoord coord_of_core(int core) const {
+    return coord_of_core_[static_cast<std::size_t>(core)];
   }
 
-  static int hops_between_cores(int a, int b) {
+  /// Chip hosting a tile coordinate (chip-grid coordinates).
+  TileCoord chip_of_coord(TileCoord at) const {
+    return TileCoord{at.x / spec_.tile_cols, at.y / spec_.tile_rows};
+  }
+
+  /// XY-routed distance: Manhattan hops plus the inter-chip penalty per
+  /// chip boundary crossed in each dimension.
+  int hops(TileCoord a, TileCoord b) const {
+    int h = std::abs(a.x - b.x) + std::abs(a.y - b.y);
+    if (spec_.interchip_hop_cost != 0 && num_chips() > 1) {
+      const TileCoord ca = chip_of_coord(a);
+      const TileCoord cb = chip_of_coord(b);
+      h += spec_.interchip_hop_cost *
+           (std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y));
+    }
+    return h;
+  }
+
+  int hops_between_cores(int a, int b) const {
     return hops(coord_of_core(a), coord_of_core(b));
   }
 
-  /// Tiles at which the four DDR3 memory controllers attach.
-  static TileCoord mem_controller_coord(int mc) {
-    assert(mc >= 0 && mc < kNumMemControllers);
-    static constexpr std::array<TileCoord, 4> kMcTiles = {
-        TileCoord{0, 0}, TileCoord{5, 0}, TileCoord{0, 2}, TileCoord{5, 2}};
-    return kMcTiles[static_cast<std::size_t>(mc)];
+  /// Tile at which memory controller `mc` attaches. Each chip carries
+  /// four, at its local corners/edge midheight exactly like the SCC:
+  /// local (0,0), (cols-1,0), (0,rows/2), (cols-1,rows/2).
+  TileCoord mem_controller_coord(int mc) const {
+    assert(mc >= 0 && mc < num_mem_controllers());
+    const int chip = mc / 4;
+    const int local = mc % 4;
+    const int base_x = (chip % spec_.chips_x) * spec_.tile_cols;
+    const int base_y = (chip / spec_.chips_x) * spec_.tile_rows;
+    const int lx = (local == 0 || local == 2) ? 0 : spec_.tile_cols - 1;
+    const int ly = local < 2 ? 0 : spec_.tile_rows / 2;
+    return TileCoord{base_x + lx, base_y + ly};
   }
 
-  /// Router where the system interface (FPGA / GIC) attaches.
-  static TileCoord system_interface_coord() { return TileCoord{3, 0}; }
+  /// Router where the system interface (FPGA / GIC) attaches: the SCC
+  /// position (3,0) on chip 0 of the grid.
+  TileCoord system_interface_coord() const {
+    return TileCoord{spec_.tile_cols / 2, 0};
+  }
 
   /// Memory controller closest to a core (ties broken by lower MC id);
   /// used for affinity-on-first-touch frame placement and for the
-  /// private-region placement of each core.
-  static int nearest_mc(int core) {
-    const TileCoord c = coord_of_core(core);
-    int best = 0;
-    int best_hops = hops(c, mem_controller_coord(0));
-    for (int mc = 1; mc < kNumMemControllers; ++mc) {
-      const int h = hops(c, mem_controller_coord(mc));
-      if (h < best_hops) {
-        best = mc;
-        best_hops = h;
-      }
-    }
-    return best;
+  /// private-region placement of each core. O(1), precomputed.
+  int nearest_mc(int core) const {
+    return nearest_mc_[static_cast<std::size_t>(core)];
   }
 
-  static int hops_core_to_mc(int core, int mc) {
-    return hops(coord_of_core(core), mem_controller_coord(mc));
+  int hops_core_to_mc(int core, int mc) const {
+    return hops_mc_[static_cast<std::size_t>(core) *
+                        static_cast<std::size_t>(num_mem_controllers()) +
+                    static_cast<std::size_t>(mc)];
   }
 
-  static int hops_core_to_system_if(int core) {
-    return hops(coord_of_core(core), system_interface_coord());
+  int hops_core_to_system_if(int core) const {
+    return hops_sysif_[static_cast<std::size_t>(core)];
   }
+
+  /// The process-wide default-SCC instance, for contexts with no Chip at
+  /// hand (tests, examples). Chips own their instance.
+  static const Topology& scc_default() {
+    static const Topology topo{};
+    return topo;
+  }
+
+ private:
+  TopologySpec spec_;
+  std::vector<TileCoord> coord_of_core_;
+  std::vector<int> nearest_mc_;
+  std::vector<int> hops_sysif_;
+  std::vector<int> hops_mc_;  // max_cores x num_mem_controllers
 };
 
 }  // namespace msvm::scc

@@ -40,9 +40,10 @@ class ProtocolEnv : public TraceSink {
   /// Sends a protocol message to `dest` (blocking until deposited).
   virtual void send(int dest, const Msg& m) = 0;
 
-  /// Sends `m` to every core whose bit is set in `dest_mask`, excluding
-  /// this core. Returns the number of messages sent.
-  virtual int multicast(u64 dest_mask, const Msg& m) = 0;
+  /// Sends `m` to every core in `dests`, excluding this core. Returns
+  /// the number of messages sent. Set-typed (not a u64 mask) so the
+  /// invalidation fan-out works on directories wider than 64 cores.
+  virtual int multicast(const SharerSet& dests, const Msg& m) = 0;
 
   /// Blocks until a message of `type` for `page` arrives, draining and
   /// dispatching unrelated protocol traffic meanwhile.

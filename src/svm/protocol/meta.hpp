@@ -12,17 +12,60 @@
 // single choke point for transition tracing.
 #pragma once
 
+#include "svm/protocol/sharer_set.hpp"
 #include "svm/protocol/types.hpp"
 
 namespace msvm::svm::proto {
 
+/// One page's read-replication directory entry: the set of cores holding
+/// a read-only replica (never including the owner) plus the
+/// Exclusive/Shared state bit. The width of `sharers` is the store's
+/// sharer_width(), fixed by the directory encoding.
+struct DirEntry {
+  SharerSet sharers;
+  bool shared = false;
+
+  DirEntry() = default;
+  explicit DirEntry(int width) : sharers(width) {}
+
+  /// True for the pristine Exclusive entry (the historical word == 0).
+  bool none() const { return !shared && sharers.none(); }
+};
+
 /// Raw word transport for protocol metadata. Values are passed as u64;
 /// 16-bit kinds use the low half (the store side truncates).
+///
+/// The directory row is wider than one word past 64 cores, so it gets
+/// typed accessors with a width: the defaults below pack a DirEntry into
+/// the historical single u64 (bit 63 = Shared, bits [0, 48) = sharers)
+/// through load/store(kDirectory), which keeps every narrow MetaStore —
+/// including the scripted test harness — working unchanged. Stores
+/// serving chips wider than 64 cores override all three.
 class MetaStore {
  public:
   virtual ~MetaStore() = default;
   virtual u64 load(MetaKind kind, u64 page) = 0;
   virtual void store(MetaKind kind, u64 page, u64 value) = 0;
+
+  /// Width (in core ids) of the directory's sharer set.
+  virtual int sharer_width() const { return 48; }
+
+  virtual DirEntry load_dir(u64 page) {
+    DirEntry e(sharer_width());
+    const u64 word = load(MetaKind::kDirectory, page);
+    e.shared = (word & kDirSharedBit) != 0;
+    // Sharer bits occupy everything below the state bit; masking with
+    // ~kDirSharedBit (rather than the historical 48-bit mask) keeps the
+    // single-word encoding exact for dies of up to 63 cores.
+    e.sharers.set_word(0, word & ~kDirSharedBit);
+    return e;
+  }
+
+  virtual void store_dir(u64 page, const DirEntry& e) {
+    const u64 word = (e.shared ? kDirSharedBit : 0) |
+                     (e.sharers.word(0) & ~kDirSharedBit);
+    store(MetaKind::kDirectory, page, word);
+  }
 };
 
 /// Scratchpad entry bit 15 marks a page for next-touch migration, which
@@ -57,9 +100,21 @@ class MetaWord {
   u16 frame_of(u64 page) { return scratchpad(page) & kFrameMask; }
 
   // ---- read-replication directory ----
-  u64 dir(u64 page) { return store_.load(MetaKind::kDirectory, page); }
-  void set_dir(u64 page, u64 word) {
-    write(MetaKind::kDirectory, page, word);
+  DirEntry dir_entry(u64 page) { return store_.load_dir(page); }
+  void store_dir_entry(u64 page, const DirEntry& e) {
+    store_.store_dir(page, e);
+    if (trace_ != nullptr) {
+      // Trace the legacy packed view (exact for <= 64-wide directories;
+      // word 0 plus the state bit for wider ones).
+      const u64 value =
+          (e.shared ? kDirSharedBit : 0) | e.sharers.word(0);
+      trace_->trace(TraceEvent{TraceKind::kMetaWrite, page,
+                               static_cast<u64>(MetaKind::kDirectory),
+                               value});
+    }
+  }
+  void clear_dir(u64 page) {
+    store_dir_entry(page, DirEntry(store_.sharer_width()));
   }
 
   MetaStore& store() { return store_; }

@@ -46,7 +46,7 @@ void ReadReplicationPolicy::acquire_read_replica(u64 page, u16 frame,
   // protocol traffic (mirrors the ownership fast path).
   env.irq_off();
   if (env.meta().owner(page) == env.self() &&
-      env.meta().dir(page) == 0) {
+      env.meta().dir_entry(page).none()) {
     env.map_page(page, frame, /*writable=*/true);
     transition(page, PageState::kOwnedRW, env);
     env.irq_on();
@@ -67,7 +67,7 @@ void ReadReplicationPolicy::acquire_read_replica(u64 page, u16 frame,
       // the sharer invariants hold; Exclusive: map writable.
       env.irq_off();
       if (env.meta().owner(page) == env.self()) {
-        const bool shared = (env.meta().dir(page) & kDirSharedBit) != 0;
+        const bool shared = env.meta().dir_entry(page).shared;
         env.map_page(page, frame, /*writable=*/!shared);
         transition(page,
                    shared ? PageState::kSharedRO : PageState::kOwnedRW,
@@ -79,14 +79,15 @@ void ReadReplicationPolicy::acquire_read_replica(u64 page, u16 frame,
       env.irq_on();
       continue;
     }
-    const u64 dir = env.meta().dir(page);
-    if ((dir & kDirSharedBit) != 0) {
+    DirEntry entry = env.meta().dir_entry(page);
+    if (entry.shared) {
       // Already Shared: the owner flushed its WCB when the state was
       // entered and cannot have written since (its mapping is read-only),
       // so the frame is clean in DRAM — join the sharer set without
       // contacting anyone. Stale MPBT lines from an earlier ownership of
       // this page must not shadow the fresh data.
-      env.meta().set_dir(page, dir | dir_bit(env.self()));
+      entry.sharers.set(env.self());
+      env.meta().store_dir_entry(page, entry);
       env.cl1invmb();
       env.map_page(page, frame, /*writable=*/false);
       transition(page, PageState::kSharedRO, env);
@@ -131,7 +132,9 @@ void ReadReplicationPolicy::serve_read_request(const Msg& m,
   env.flush_wcb();
   env.downgrade_page(page);
   transition(page, PageState::kSharedRO, env);
-  env.meta().set_dir(page, env.meta().dir(page) | kDirSharedBit);
+  DirEntry entry = env.meta().dir_entry(page);
+  entry.shared = true;
+  env.meta().store_dir_entry(page, entry);
   env.send(requester, Msg{MsgType::kReadAck, page, 0});
 }
 

@@ -2,7 +2,6 @@
 // "the Strong Memory Model has to retrieve the access permissions from
 // the page owner" — for reads as much as writes, since at each point in
 // time only one owner may access the page.
-#include <bit>
 #include <cstdio>
 
 #include "svm/protocol/policy.hpp"
@@ -38,7 +37,7 @@ void StrongOwnerPolicy::acquire_ownership(u64 page, ProtocolEnv& env) {
   // invalidate replicas and reset the state to Exclusive.
   env.irq_off();
   if (env.meta().owner(page) == env.self() &&
-      (!read_replication_ || env.meta().dir(page) == 0)) {
+      (!read_replication_ || env.meta().dir_entry(page).none())) {
     env.map_page(page, frame, /*writable=*/true);
     transition(page, PageState::kOwnedRW, env);
     env.irq_on();
@@ -139,12 +138,13 @@ void StrongOwnerPolicy::serve_ownership_request(const Msg& m,
 }
 
 void StrongOwnerPolicy::invalidate_sharers(u64 page, ProtocolEnv& env) {
-  const u64 dir = env.meta().dir(page);
-  if (dir == 0) return;
-  const u64 mask = dir & kDirSharerMask & ~dir_bit(env.self());
-  const int nshare = std::popcount(mask);
+  const DirEntry entry = env.meta().dir_entry(page);
+  if (entry.none()) return;
+  SharerSet dests = entry.sharers;
+  dests.clear(env.self());
+  const int nshare = dests.count();
   if (nshare > 0) {
-    env.multicast(mask, Msg{MsgType::kInval, page, env.self()});
+    env.multicast(dests, Msg{MsgType::kInval, page, env.self()});
     env.stats().invalidations_sent += static_cast<u64>(nshare);
     env.hw_count(HwEvent::kInvalSent, static_cast<u64>(nshare));
     for (int i = 0; i < nshare; ++i) {
@@ -152,7 +152,7 @@ void StrongOwnerPolicy::invalidate_sharers(u64 page, ProtocolEnv& env) {
     }
     env.hw_count(HwEvent::kMailRoundtrip, 1);  // one multicast round
   }
-  env.meta().set_dir(page, 0);  // Exclusive again
+  env.meta().clear_dir(page);  // Exclusive again
 }
 
 }  // namespace msvm::svm::proto

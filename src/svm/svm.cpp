@@ -99,7 +99,7 @@ void Svm::barrier_master_gather() {
   if (rank_ == 0) {
     for (std::size_t i = 1; i < members.size(); ++i) {
       const u64 flag = map.mpb_base(master_core) +
-                       SvmDomain::kBarrierArriveOff +
+                       domain_.barrier_arrive_off() +
                        static_cast<u32>(members[i]);
       sim::BlockScope scope(core_.chip().scheduler().current(),
                             "svm.barrier_gather",
@@ -118,16 +118,16 @@ void Svm::barrier_master_gather() {
     }
     for (std::size_t i = 1; i < members.size(); ++i) {
       core_.pstore<u8>(
-          map.mpb_base(members[i]) + SvmDomain::kBarrierReleaseOff, sense,
+          map.mpb_base(members[i]) + domain_.barrier_release_off(), sense,
           scc::MemPolicy::kUncached);
     }
   } else {
     core_.pstore<u8>(map.mpb_base(master_core) +
-                         SvmDomain::kBarrierArriveOff +
+                         domain_.barrier_arrive_off() +
                          static_cast<u32>(core_.id()),
                      sense, scc::MemPolicy::kUncached);
     const u64 flag =
-        map.mpb_base(core_.id()) + SvmDomain::kBarrierReleaseOff;
+        map.mpb_base(core_.id()) + domain_.barrier_release_off();
     sim::BlockScope scope(core_.chip().scheduler().current(),
                           "svm.barrier_release",
                           static_cast<u64>(master_core));
@@ -158,14 +158,14 @@ void Svm::barrier_dissemination() {
   // The algorithm is exact for any n (power of two or not): ceil(log2 n)
   // rounds of signal/wait at distances 1, 2, 4, ... — but each round
   // needs its own flag byte, and the MPB layout reserves exactly
-  // kBarrierDissRounds per parity. Fail loudly rather than silently
+  // barrier_diss_rounds() per parity. Fail loudly rather than silently
   // corrupting a neighbouring flag if a domain ever exceeds 2^rounds
   // members.
   u32 rounds = 0;
   while ((1 << rounds) < n) ++rounds;
-  if (rounds > SvmDomain::kBarrierDissRounds) {
+  if (rounds > domain_.barrier_diss_rounds()) {
     panic("dissemination barrier: domain has more members than the MPB "
-          "flag layout supports (kBarrierDissRounds rounds)");
+          "flag layout supports (barrier_diss_rounds() rounds)");
   }
   const u64 seq = diss_seq_++;
   const u32 parity = static_cast<u32>(seq % 2);
@@ -175,11 +175,11 @@ void Svm::barrier_dissemination() {
   for (u32 round = 0; distance < n; ++round, distance *= 2) {
     const int to =
         members[static_cast<std::size_t>((rank_ + distance) % n)];
-    core_.pstore<u8>(map.mpb_base(to) + SvmDomain::kBarrierDissOff +
-                         parity * SvmDomain::kBarrierDissRounds + round,
+    core_.pstore<u8>(map.mpb_base(to) + domain_.barrier_diss_off() +
+                         parity * domain_.barrier_diss_rounds() + round,
                      sense, scc::MemPolicy::kUncached);
-    const u64 own = map.mpb_base(core_.id()) + SvmDomain::kBarrierDissOff +
-                    parity * SvmDomain::kBarrierDissRounds + round;
+    const u64 own = map.mpb_base(core_.id()) + domain_.barrier_diss_off() +
+                    parity * domain_.barrier_diss_rounds() + round;
     // Rounds are short (one flag write away); a large backoff cap would
     // compound oversleeps across the log2(n) rounds.
     sim::BlockScope scope(core_.chip().scheduler().current(),
@@ -242,7 +242,7 @@ void Svm::unprotect(u64 vaddr, u64 bytes) {
     // stale Shared bit would let a future reader join the sharer set
     // without a grant while the owner re-faults a writable mapping.
     for (u64 off = 0; off < bytes; off += page) {
-      runtime_->meta().set_dir(page_index_of(vaddr + off), 0);
+      runtime_->meta().clear_dir(page_index_of(vaddr + off));
     }
   }
   region->readonly = false;
@@ -273,7 +273,7 @@ void Svm::next_touch(u64 vaddr, u64 bytes) {
       // stale Shared bit.
       if (domain_.config().read_replication &&
           model() == Model::kStrong) {
-        meta.set_dir(idx, 0);
+        meta.clear_dir(idx);
       }
     }
   }

@@ -171,6 +171,10 @@ class SvmDomain {
   /// First/last+1 allocatable frame numbers for a memory controller.
   std::pair<u16, u16> frame_range_of_mc(int mc) const;
 
+  /// Frames below the metadata area, across all MCs (the allocatable
+  /// total; frame 0 is the sentinel and never handed out).
+  u64 total_frames() const;
+
   /// TAS register guarding the scratchpad stripe of `page_idx`.
   int scratchpad_lock_reg(u64 page_idx) const;
 
@@ -183,16 +187,38 @@ class SvmDomain {
   /// TAS register for application-level SVM locks.
   int app_lock_reg(int lock_id) const;
 
+  /// The runtime MPB layout this domain's barrier flags and scratchpad
+  /// entries live in (derived from the chip topology; equal to the
+  /// historical constants on the 48-core SCC).
+  const mbox::Layout& layout() const { return layout_; }
+
   /// Offsets of the SVM barrier flags within the scratchpad MPB carve.
-  static constexpr u32 kBarrierArriveOff = mbox::kScratchpadOffset;
-  static constexpr u32 kBarrierReleaseOff = mbox::kScratchpadOffset + 48;
-  /// Dissemination flags: two parity sets of kBarrierDissRounds rounds
-  /// (49..60). The round count bounds the member count to 2^6 = 64;
+  /// At 48 cores these are the historical 1536 / 1584 / 1585 / 1600.
+  u32 barrier_arrive_off() const { return layout_.scratchpad_offset; }
+  u32 barrier_release_off() const {
+    return layout_.scratchpad_offset + static_cast<u32>(layout_.max_cores);
+  }
+  /// Dissemination flags: two parity sets of barrier_diss_rounds() rounds
+  /// each. The round count bounds the member count to 2^rounds;
   /// Svm::barrier_dissemination() checks this instead of silently letting
   /// round offsets spill into the scratchpad entries.
-  static constexpr u32 kBarrierDissRounds = 6;
-  static constexpr u32 kBarrierDissOff = mbox::kScratchpadOffset + 49;
-  static constexpr u32 kEntriesOff = mbox::kScratchpadOffset + 64;
+  u32 barrier_diss_rounds() const {
+    return static_cast<u32>(layout_.diss_rounds);
+  }
+  u32 barrier_diss_off() const { return barrier_release_off() + 1; }
+  u32 entries_off() const {
+    return layout_.scratchpad_offset + layout_.barrier_header_bytes;
+  }
+
+  /// Read-replication directory encoding: 0 = the historical single-word
+  /// entry (sharer bits below the state bit, chips up to 63 cores);
+  /// otherwise the number of 64-bit sharer words in a wide entry, which
+  /// is then laid out as one flags word (bit 0 = Shared) followed by the
+  /// sharer words.
+  int sharer_words() const { return dir_words_; }
+  u32 dir_entry_stride() const {
+    return dir_words_ == 0 ? 8u : 8u * static_cast<u32>(1 + dir_words_);
+  }
 
   // ---- host-side migration free lists (guarded by the scratchpad
   // lock while simulated) ----
@@ -210,7 +236,11 @@ class SvmDomain {
   SvmConfig cfg_;
   std::vector<int> members_;
 
+  mbox::Layout layout_;      // runtime MPB layout for the chip topology
+  int dir_words_ = 0;        // wide-directory sharer words (0 = legacy)
+  u64 mc_area_bytes_ = 64;   // per-MC frame counters (64 on the SCC)
   u64 meta_base_ = 0;        // shared-DRAM offset of the metadata area
+  u64 page_capacity_total_ = 0;  // chip-wide SVM page capacity
   u64 svm_page_capacity_ = 0;   // this domain's share
   u64 page_index_base_ = 0;     // first global page index of the share
   u32 entries_per_mpb_ = 0;
@@ -227,7 +257,7 @@ class SvmDomain {
   struct AllocRecord {
     u64 bytes;
     u64 base;
-    u64 seen_mask;
+    u32 seen;  // members that have reached this collective call
   };
   std::vector<AllocRecord> allocs_;
   std::vector<u64> next_alloc_seq_;  // per rank

@@ -30,33 +30,57 @@ SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
     : chip_(chip),
       cfg_(cfg),
       members_(std::move(members)),
-      free_frames_(scc::Mesh::kNumMemControllers),
+      layout_(mbox::Layout::make(chip.topology().max_cores(),
+                                 chip.config().mpb_bytes)),
+      free_frames_(
+          static_cast<std::size_t>(chip.topology().num_mem_controllers())),
       next_alloc_seq_(members_.size(), 0) {
   assert(num_slots >= 1 && slot >= 0 && slot < num_slots);
-  debug_lock_holder_.assign(64, -1);
-  debug_lock_page_.assign(64, 0);
+  const scc::Topology& topo = chip_.topology();
+  // Directory encoding: the historical single word carries the sharer
+  // bits below the state bit, which caps it at 63 cores; wider chips
+  // spill into a flags word plus ceil(n/64) sharer words.
+  dir_words_ = topo.max_cores() > 63 ? (topo.max_cores() + 63) / 64 : 0;
+  const std::size_t nlocks =
+      static_cast<std::size_t>(std::max(64, topo.max_cores()));
+  debug_lock_holder_.assign(nlocks, -1);
+  debug_lock_page_.assign(nlocks, 0);
   const scc::ChipConfig& ccfg = chip_.config();
   const u64 page = ccfg.page_bytes;
 
-  entries_per_mpb_ = (mbox::kScratchpadBytes - 64) / 2;
-  const u64 total_capacity =
+  entries_per_mpb_ =
+      (layout_.scratchpad_bytes - layout_.barrier_header_bytes) / 2;
+  page_capacity_total_ =
       static_cast<u64>(ccfg.num_cores) * entries_per_mpb_;
+  // Wide chips: the scratchpad-addressable capacity grows with the core
+  // count, but the DRAM metadata below is sized off it — at 1024 cores
+  // the uncapped owner vector plus directory would outgrow shared DRAM
+  // itself. Past the SCC die, cap capacity at 4x the physical frame
+  // count (overcommit for sparse allocations); at <= 48 cores the
+  // historical layout is kept bit for bit.
+  if (topo.max_cores() > 48) {
+    page_capacity_total_ =
+        std::min(page_capacity_total_, 4 * (ccfg.shared_dram_bytes / page));
+  }
   // Coherency-domain partitioning: each slot owns a disjoint share of
   // the page-index space (and therefore of the scratchpad/owner-vector
   // entries and the virtual address range).
-  svm_page_capacity_ = total_capacity / static_cast<u64>(num_slots);
+  svm_page_capacity_ = page_capacity_total_ / static_cast<u64>(num_slots);
   page_index_base_ = static_cast<u64>(slot) * svm_page_capacity_;
 
-  // Metadata at the tail of shared DRAM: 64 bytes of per-MC frame
-  // counters, then the owner vector, then the off-die scratchpad area
-  // (always reserved so the ablation flag does not change frame
-  // numbers), then — only in read-replication mode, so that flag-off
-  // runs keep the paper's exact layout — one 8-byte directory sharer
-  // word per page. Sized for the whole chip so every slot sees the same
-  // layout.
+  // Metadata at the tail of shared DRAM: the per-MC frame counters
+  // (8 bytes each, padded to 64 — exactly 64 bytes on the four-MC SCC),
+  // then the owner vector, then the off-die scratchpad area (always
+  // reserved so the ablation flag does not change frame numbers), then —
+  // only in read-replication mode, so that flag-off runs keep the
+  // paper's exact layout — one directory entry per page. Sized for the
+  // whole chip so every slot sees the same layout.
+  mc_area_bytes_ =
+      round_up(8 * static_cast<u64>(topo.num_mem_controllers()), 64);
   const u64 meta_bytes =
-      64 + 4 * total_capacity +
-      (cfg_.read_replication ? 8 * total_capacity : 0);
+      mc_area_bytes_ + 4 * page_capacity_total_ +
+      (cfg_.read_replication ? dir_entry_stride() * page_capacity_total_
+                             : 0);
   if (round_up(meta_bytes, page) + page >= ccfg.shared_dram_bytes) {
     panic("shared DRAM too small for SVM metadata");
   }
@@ -66,7 +90,7 @@ SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
   // kernel would write these at boot). Slot 0 does it; later slots must
   // not reset the chip-level allocators.
   if (slot == 0) {
-    for (int mc = 0; mc < scc::Mesh::kNumMemControllers; ++mc) {
+    for (int mc = 0; mc < topo.num_mem_controllers(); ++mc) {
       const auto [lo, hi] = frame_range_of_mc(mc);
       (void)hi;
       const u64 v = lo;
@@ -82,7 +106,8 @@ u64 SvmDomain::vbase() const {
 std::pair<u16, u16> SvmDomain::frame_range_of_mc(int mc) const {
   const scc::ChipConfig& ccfg = chip_.config();
   const u64 page = ccfg.page_bytes;
-  const u64 quarter = ccfg.shared_dram_bytes / scc::Mesh::kNumMemControllers;
+  const u64 quarter = ccfg.shared_dram_bytes /
+                      static_cast<u64>(chip_.topology().num_mem_controllers());
   const u64 frames_limit = meta_base_ / page;  // metadata is off-limits
   u64 lo = static_cast<u64>(mc) * quarter / page;
   u64 hi = (static_cast<u64>(mc) + 1) * quarter / page;
@@ -96,19 +121,19 @@ std::pair<u16, u16> SvmDomain::frame_range_of_mc(int mc) const {
 u64 SvmDomain::owner_entry_paddr(u64 page_idx) const {
   assert(page_idx >= page_index_base_ &&
          page_idx < page_index_base_ + svm_page_capacity_);
-  return scc::kSharedBase + meta_base_ + 64 + 2 * page_idx;
+  return scc::kSharedBase + meta_base_ + mc_area_bytes_ + 2 * page_idx;
 }
 
 u64 SvmDomain::scratchpad_entry_paddr(u64 page_idx) const {
   assert(page_idx >= page_index_base_ &&
          page_idx < page_index_base_ + svm_page_capacity_);
   if (cfg_.scratchpad_offdie) {
-    return scc::kSharedBase + meta_base_ + 64 + 2 * svm_page_capacity_ +
-           2 * page_idx;
+    return scc::kSharedBase + meta_base_ + mc_area_bytes_ +
+           2 * svm_page_capacity_ + 2 * page_idx;
   }
   const int core = static_cast<int>(page_idx / entries_per_mpb_);
   const u32 off = static_cast<u32>(page_idx % entries_per_mpb_) * 2;
-  return chip_.map().mpb_base(core) + kEntriesOff + off;
+  return chip_.map().mpb_base(core) + entries_off() + off;
 }
 
 u64 SvmDomain::sharer_entry_paddr(u64 page_idx) const {
@@ -116,10 +141,12 @@ u64 SvmDomain::sharer_entry_paddr(u64 page_idx) const {
          "directory sharer words exist only in read-replication mode");
   assert(page_idx >= page_index_base_ &&
          page_idx < page_index_base_ + svm_page_capacity_);
-  const u64 total_capacity =
-      static_cast<u64>(chip_.config().num_cores) * entries_per_mpb_;
-  return scc::kSharedBase + meta_base_ + 64 + 4 * total_capacity +
-         8 * page_idx;
+  return scc::kSharedBase + meta_base_ + mc_area_bytes_ +
+         4 * page_capacity_total_ + dir_entry_stride() * page_idx;
+}
+
+u64 SvmDomain::total_frames() const {
+  return meta_base_ / chip_.config().page_bytes;
 }
 
 u64 SvmDomain::mc_counter_paddr(int mc) const {
@@ -131,12 +158,13 @@ u64 SvmDomain::frame_paddr(u16 frame_no) const {
          static_cast<u64>(frame_no) * chip_.config().page_bytes;
 }
 
-// The 48-register TAS file is partitioned statically: scratchpad stripes
-// and transfer locks share the lower half, application locks take the
-// upper half. SVM fault handling can therefore never self-deadlock on a
-// register aliased with an application lock the faulting code holds.
+// The TAS file (one register per core the die provides) is partitioned
+// statically: scratchpad stripes and transfer locks share the lower
+// half, application locks take the upper half. SVM fault handling can
+// therefore never self-deadlock on a register aliased with an
+// application lock the faulting code holds.
 int SvmDomain::scratchpad_lock_reg(u64 page_idx) const {
-  const u32 half = scc::Mesh::kMaxCores / 2;
+  const u32 half = static_cast<u32>(chip_.topology().max_cores()) / 2;
   const u32 stripes =
       std::max(1u, std::min(cfg_.scratchpad_lock_stripes, half));
   return static_cast<int>(page_idx % stripes);
@@ -145,12 +173,13 @@ int SvmDomain::scratchpad_lock_reg(u64 page_idx) const {
 int SvmDomain::transfer_lock_reg(u64 page_idx) const {
   // Shares the lower half with the scratchpad stripes; the two are never
   // held simultaneously, so aliasing only costs contention, not deadlock.
-  return static_cast<int>(page_idx % (scc::Mesh::kMaxCores / 2));
+  return static_cast<int>(
+      page_idx % static_cast<u64>(chip_.topology().max_cores() / 2));
 }
 
 int SvmDomain::app_lock_reg(int lock_id) const {
-  constexpr int kHalf = scc::Mesh::kMaxCores / 2;
-  return kHalf + lock_id % kHalf;
+  const int half = chip_.topology().max_cores() / 2;
+  return half + lock_id % half;
 }
 
 void SvmDomain::free_frame(int mc, u16 frame_no) {
@@ -185,7 +214,7 @@ u64 SvmDomain::register_alloc(int rank, u64 bytes) {
   if (rec.bytes != bytes) {
     panic("svm_alloc called with mismatched sizes across cores");
   }
-  rec.seen_mask |= u64{1} << rank;
+  ++rec.seen;
   return rec.base;
 }
 

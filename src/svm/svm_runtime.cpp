@@ -98,6 +98,7 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
       mbox_(mbox),
       domain_(domain),
       core_(kernel.core()),
+      dir_width_(domain.chip().topology().max_cores()),
       meta_word_(*this, this),
       policy_(make_policy(domain.config())) {
   // Flat per-page lookup tables: precompute the simulated-memory address
@@ -227,10 +228,11 @@ void SvmRuntime::append_hang_report(std::string& out) {
     std::snprintf(
         buf, sizeof(buf),
         "core %d svm: in-flight request type=0x%x page=%llu seq=%u "
-        "awaiting_mask=0x%llx owner_word=%u\n",
+        "awaiting=%d (word0=0x%llx) owner_word=%u\n",
         core_.id(), pending_->mail.type,
         static_cast<unsigned long long>(pending_->page), pending_->seq,
-        static_cast<unsigned long long>(pending_->awaiting_mask),
+        pending_->awaiting.count(),
+        static_cast<unsigned long long>(pending_->awaiting.word(0)),
         owner_word);
     out += buf;
   }
@@ -340,7 +342,8 @@ void SvmRuntime::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
     // and publish the 16-bit representation.
     ++stats_.first_touch_allocs;
     core_.compute_cycles(domain_.config().first_touch_software_cycles);
-    const u16 frame = alloc_frame_near(scc::Mesh::nearest_mc(core_.id()));
+    const u16 frame =
+        alloc_frame_near(core_.chip().topology().nearest_mc(core_.id()));
     zero_frame(frame);
     meta_word_.set_scratchpad(page_idx, frame);
     meta_word_.set_owner(page_idx, static_cast<u16>(core_.id()));
@@ -359,7 +362,7 @@ void SvmRuntime::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
     // move the frame next to our own controller.
     ++stats_.migrations;
     const u16 old_frame = entry & kFrameMask;
-    const int my_mc = scc::Mesh::nearest_mc(core_.id());
+    const int my_mc = core_.chip().topology().nearest_mc(core_.id());
     const u16 new_frame = alloc_frame_near(my_mc);
     const u32 line = core_.chip().config().line_bytes;
     const u32 page = core_.chip().config().page_bytes;
@@ -413,14 +416,25 @@ u16 SvmRuntime::alloc_frame_near(int preferred_mc) {
     return frame_batch_next_++;
   }
   constexpr u16 kBatchFrames = 32;  // 128 KiB of contiguity
-  for (int k = 0; k < scc::Mesh::kNumMemControllers; ++k) {
-    const int mc = (preferred_mc + k) % scc::Mesh::kNumMemControllers;
+  // Past the SCC die the fixed 32-frame batch over-reserves: N cores
+  // stranding 31 frames each can exhaust the pools outright. Fair-share
+  // the batch against the total frame budget instead; at <= 48 cores the
+  // historical batch (and thus frame placement) is kept exactly.
+  u64 batch = kBatchFrames;
+  const int ncores = core_.chip().config().num_cores;
+  if (ncores > 48) {
+    const u64 fair = domain_.total_frames() / (2 * static_cast<u64>(ncores));
+    batch = std::clamp<u64>(fair, 1, kBatchFrames);
+  }
+  const int nmc = core_.chip().topology().num_mem_controllers();
+  for (int k = 0; k < nmc; ++k) {
+    const int mc = (preferred_mc + k) % nmc;
     const auto [lo, hi] = domain_.frame_range_of_mc(mc);
     (void)lo;
     const u64 next = core_.pload<u64>(domain_.mc_counter_paddr(mc),
                                       scc::MemPolicy::kUncached);
     if (next < hi) {
-      const u64 take = std::min<u64>(kBatchFrames, hi - next);
+      const u64 take = std::min<u64>(batch, hi - next);
       core_.pstore<u64>(domain_.mc_counter_paddr(mc), next + take,
                         scc::MemPolicy::kUncached);
       frame_batch_next_ = static_cast<u16>(next);
@@ -517,7 +531,9 @@ void SvmRuntime::send(int dest, const proto::Msg& m) {
     // A fresh request this core originates: stamp a new sequence number
     // and remember it for bounded-wait retransmission.
     mail.arg16 = ++seq_next_;
-    pending_ = PendingRequest{mail, u64{1} << dest, m.page, mail.arg16,
+    proto::SharerSet awaiting(dir_width_);
+    awaiting.set(dest);
+    pending_ = PendingRequest{mail, awaiting, m.page, mail.arg16,
                               ack_of(mail.type)};
   } else {
     // Forward of someone else's request, or an ACK: echo the sequence
@@ -527,25 +543,28 @@ void SvmRuntime::send(int dest, const proto::Msg& m) {
   mbox_.send(dest, mail);
 }
 
-int SvmRuntime::multicast(u64 dest_mask, const proto::Msg& m) {
+int SvmRuntime::multicast(const proto::SharerSet& dests,
+                          const proto::Msg& m) {
   trace(proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
-                          static_cast<u64>(m.type), dest_mask});
+                          static_cast<u64>(m.type), dests.word(0)});
   mbox::Mail mail;
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
   mail.p1 = static_cast<u64>(m.requester);
   mail.arg16 = ++seq_next_;
-  pending_ = PendingRequest{mail, dest_mask & ~(u64{1} << self()), m.page,
-                            mail.arg16, ack_of(mail.type)};
-  return mbox_.multicast(dest_mask, mail);
+  proto::SharerSet awaiting = dests;
+  awaiting.clear(self());
+  std::vector<int> list;
+  list.reserve(static_cast<std::size_t>(awaiting.count()));
+  awaiting.for_each([&list](int dest) { list.push_back(dest); });
+  pending_ = PendingRequest{mail, awaiting, m.page, mail.arg16,
+                            ack_of(mail.type)};
+  return mbox_.multicast(list, mail);
 }
 
 void SvmRuntime::retransmit_pending() {
   if (!pending_) return;
-  const int n = core_.chip().num_cores();
-  u64 mask = pending_->awaiting_mask;
-  for (int dest = 0; dest < n && mask != 0; ++dest, mask >>= 1) {
-    if ((mask & 1) == 0) continue;
+  pending_->awaiting.for_each([this](int dest) {
     // try_send only: a still-full slot means the original mail is still
     // deliverable — re-raising the question must not block, and send()
     // would. (try_send re-raises the IPI when it deposits.)
@@ -567,7 +586,7 @@ void SvmRuntime::retransmit_pending() {
                     static_cast<unsigned long long>(pending_->page),
                     pending_->seq, dest);
     }
-  }
+  });
 }
 
 void SvmRuntime::on_ack_mail(const mbox::Mail& mail) {
@@ -631,10 +650,8 @@ proto::Msg SvmRuntime::wait_match(proto::MsgType type, u64 page) {
     if (mail_type == kMailInvalAck) {
       // Multicast wait: retire this responder; keep the entry while
       // other sharers still owe their ACK.
-      if (mail.sender >= 0) {
-        pending_->awaiting_mask &= ~(u64{1} << mail.sender);
-      }
-      if (pending_->awaiting_mask == 0) pending_.reset();
+      if (mail.sender >= 0) pending_->awaiting.clear(mail.sender);
+      if (pending_->awaiting.none()) pending_.reset();
     } else {
       pending_.reset();
     }
@@ -749,6 +766,40 @@ u64 SvmRuntime::load(proto::MetaKind kind, u64 page) {
                               scc::MemPolicy::kUncached);
   }
   panic("unknown MetaKind load");
+}
+
+proto::DirEntry SvmRuntime::load_dir(u64 page) {
+  if (domain_.sharer_words() == 0) return proto::MetaStore::load_dir(page);
+  // Wide entry: one flags word (bit 0 = Shared) then the sharer words,
+  // each its own uncached simulated transaction.
+  const u64 rel = page - page_index_base_;
+  assert(rel < sharer_paddr_.size() && "metadata page outside the domain");
+  const u64 base = sharer_paddr_[rel];
+  proto::DirEntry e(dir_width_);
+  e.shared =
+      (core_.pload<u64>(base, scc::MemPolicy::kUncached) & 1) != 0;
+  for (int w = 0; w < domain_.sharer_words(); ++w) {
+    e.sharers.set_word(
+        w, core_.pload<u64>(base + 8 * static_cast<u64>(w + 1),
+                            scc::MemPolicy::kUncached));
+  }
+  return e;
+}
+
+void SvmRuntime::store_dir(u64 page, const proto::DirEntry& e) {
+  if (domain_.sharer_words() == 0) {
+    proto::MetaStore::store_dir(page, e);
+    return;
+  }
+  const u64 rel = page - page_index_base_;
+  assert(rel < sharer_paddr_.size() && "metadata page outside the domain");
+  const u64 base = sharer_paddr_[rel];
+  core_.pstore<u64>(base, e.shared ? u64{1} : u64{0},
+                    scc::MemPolicy::kUncached);
+  for (int w = 0; w < domain_.sharer_words(); ++w) {
+    core_.pstore<u64>(base + 8 * static_cast<u64>(w + 1), e.sharers.word(w),
+                      scc::MemPolicy::kUncached);
+  }
 }
 
 void SvmRuntime::store(proto::MetaKind kind, u64 page, u64 value) {

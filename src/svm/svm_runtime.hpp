@@ -74,7 +74,7 @@ class SvmRuntime final : public proto::ProtocolEnv,
   /// this core's ring and fans it out to any attached sinks).
   void trace(const proto::TraceEvent& e) override;
   void send(int dest, const proto::Msg& m) override;
-  int multicast(u64 dest_mask, const proto::Msg& m) override;
+  int multicast(const proto::SharerSet& dests, const proto::Msg& m) override;
   proto::Msg wait_match(proto::MsgType type, u64 page) override;
   void yield() override;
   void flush_wcb() override;
@@ -94,6 +94,14 @@ class SvmRuntime final : public proto::ProtocolEnv,
 
   u64 load(proto::MetaKind kind, u64 page) override;
   void store(proto::MetaKind kind, u64 page, u64 value) override;
+  /// Directory width = the die's core count. Up to 63 cores the entry is
+  /// the historical single word (handled by the MetaStore defaults via
+  /// load/store above); wider chips use the spilled multi-word entry, so
+  /// the typed accessors are overridden to issue one simulated
+  /// transaction per entry word.
+  int sharer_width() const override { return dir_width_; }
+  proto::DirEntry load_dir(u64 page) override;
+  void store_dir(u64 page, const proto::DirEntry& e) override;
 
  private:
   /// Converts an incoming protocol mail and hands it to the policy.
@@ -101,11 +109,11 @@ class SvmRuntime final : public proto::ProtocolEnv,
 
   /// One request this core originated and has not been fully acked:
   /// the stamped mail for idempotent retransmission, plus the set of
-  /// destinations still owing an ACK (a single bit for unicast
-  /// requests, the sharer mask for an invalidation multicast).
+  /// destinations still owing an ACK (a single member for unicast
+  /// requests, the sharer set for an invalidation multicast).
   struct PendingRequest {
     mbox::Mail mail;        // exactly as first sent (arg16 = seq)
-    u64 awaiting_mask = 0;
+    proto::SharerSet awaiting;
     u64 page = 0;
     u16 seq = 0;
     u8 ack_type = 0;
@@ -137,6 +145,7 @@ class SvmRuntime final : public proto::ProtocolEnv,
   mbox::MailboxSystem& mbox_;
   SvmDomain& domain_;
   scc::Core& core_;
+  int dir_width_ = 48;  // directory sharer width = the die's core count
 
   proto::MetaWord meta_word_;
   proto::SvmStats stats_;

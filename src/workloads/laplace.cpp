@@ -57,15 +57,22 @@ double laplace_reference_checksum(const LaplaceParams& p) {
 LaplaceResult run_laplace_svm(const LaplaceParams& p, svm::Model model,
                               int num_cores, bool use_ipi) {
   cluster::ClusterConfig cfg;
-  // The full 48-core die is always simulated — the first-touch scratchpad
-  // is distributed over every MPB on the chip — while only `num_cores`
+  // The full die is always simulated — the first-touch scratchpad is
+  // distributed over every MPB on the chip — while only `num_cores`
   // members run the program, exactly like using part of a real SCC.
-  cfg.chip.num_cores = scc::Mesh::kMaxCores;
+  // Past 48 members the chip grid grows to fit (configure_cores), and at
+  // 48 or fewer it stays the exact default SCC die.
+  scc::configure_cores(cfg.chip, std::max(num_cores, 48));
+  cfg.chip.sched_lanes = p.sched_lanes;
   cfg.chip.core_mhz = p.core_mhz;
   for (int c = 0; c < num_cores; ++c) cfg.members.push_back(c);
   const u64 grid_bytes = static_cast<u64>(p.ny) * p.nx * 8;
+  // Past 48 members, grow shared DRAM with the core count (64 KiB per
+  // core) so the per-MC frame pools keep headroom for every core's
+  // allocation batch; at <= 48 the historical 16 MiB floor is unchanged.
   cfg.chip.shared_dram_bytes =
-      std::max<u64>(16ull << 20, 4 * grid_bytes);
+      std::max<u64>({16ull << 20, 4 * grid_bytes,
+                     static_cast<u64>(num_cores) << 16});
   cfg.chip.private_dram_bytes = 1 << 20;
   cfg.svm.model = model;
   cfg.svm.read_replication = p.read_replication;

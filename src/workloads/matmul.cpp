@@ -29,9 +29,15 @@ double matmul_reference_checksum(const MatmulParams& p) {
 MatmulResult run_matmul(const MatmulParams& p, svm::Model model,
                         int num_cores) {
   cluster::ClusterConfig cfg;
-  cfg.chip.num_cores = num_cores;
+  // Sizes the chip grid to the member count (a no-op below 48 cores).
+  scc::configure_cores(cfg.chip, num_cores);
+  cfg.chip.sched_lanes = p.sched_lanes;
   const u64 mat_bytes = static_cast<u64>(p.n) * p.n * 8;
-  cfg.chip.shared_dram_bytes = std::max<u64>(16ull << 20, 8 * mat_bytes);
+  // As in laplace: 64 KiB of shared DRAM per core past the 48-core die
+  // keeps the per-MC frame pools ahead of the allocation batches.
+  cfg.chip.shared_dram_bytes =
+      std::max<u64>({16ull << 20, 8 * mat_bytes,
+                     static_cast<u64>(num_cores) << 16});
   cfg.chip.private_dram_bytes = 1 << 20;
   cfg.svm.model = model;
   cfg.svm.read_replication = p.read_replication;

@@ -100,8 +100,8 @@ TEST(Kernel, IpiHandlersFanOut) {
   chip.spawn_program(0, [&](scc::Core& c) {
     Kernel k(c);
     k.boot();
-    k.add_ipi_handler([&](u64) { ++calls_a; });
-    k.add_ipi_handler([&](u64) { ++calls_b; });
+    k.add_ipi_handler([&](const scc::IpiSourceSet&) { ++calls_a; });
+    k.add_ipi_handler([&](const scc::IpiSourceSet&) { ++calls_b; });
     while (calls_a == 0) k.idle_once();
   });
   chip.spawn_program(1, [&](scc::Core& c) {

@@ -241,9 +241,9 @@ TEST(Core, IpiWakesHaltedCore) {
   u64 source_mask = 0;
   TimePs woke_at = 0;
   chip.spawn_program(0, [&](Core& c) {
-    c.set_ipi_handler([&](Core&, u64 mask) {
+    c.set_ipi_handler([&](Core&, const IpiSourceSet& sources) {
       got_ipi = true;
-      source_mask = mask;
+      source_mask = sources.word0();
     });
     while (!got_ipi) c.halt();
     woke_at = c.now();
@@ -264,7 +264,8 @@ TEST(Core, IpiToRunningCoreDeliveredAtBoundary) {
   Chip chip(small_config());
   bool got_ipi = false;
   chip.spawn_program(0, [&](Core& c) {
-    c.set_ipi_handler([&](Core&, u64) { got_ipi = true; });
+    c.set_ipi_handler(
+        [&](Core&, const IpiSourceSet&) { got_ipi = true; });
     // Keep computing; the IPI must be delivered at an access boundary.
     for (int i = 0; i < 1000 && !got_ipi; ++i) c.compute_cycles(100);
     EXPECT_TRUE(got_ipi);

@@ -18,16 +18,16 @@ TEST(Gic, PendingMaskAccumulatesSources) {
   gic.raise(5, 7, 200);
   EXPECT_TRUE(gic.has_pending(5));
   EXPECT_FALSE(gic.has_pending(3));
-  EXPECT_EQ(gic.take_pending(5), (u64{1} << 3) | (u64{1} << 7));
+  EXPECT_EQ(gic.take_pending(5).word0(), (u64{1} << 3) | (u64{1} << 7));
   EXPECT_FALSE(gic.has_pending(5));
-  EXPECT_EQ(gic.take_pending(5), 0u);
+  EXPECT_EQ(gic.take_pending(5).word0(), 0u);
 }
 
 TEST(Gic, DuplicateRaiseCoalesces) {
   Gic gic(8);
   gic.raise(1, 0, 10);
   gic.raise(1, 0, 20);
-  EXPECT_EQ(gic.take_pending(1), u64{1} << 0);
+  EXPECT_EQ(gic.take_pending(1).word0(), u64{1} << 0);
 }
 
 TEST(Gic, WakeCallbackFiresPerRaise) {

@@ -391,11 +391,20 @@ TEST(ProtocolTrace, MetaWordRecordsEveryWrite) {
 
   meta.set_owner(3, 7);
   meta.set_scratchpad(1, proto::kMigrateBit | 5);
-  meta.set_dir(2, kDirSharedBit | dir_bit(4));
+  proto::DirEntry entry(store.sharer_width());
+  entry.shared = true;
+  entry.sharers.set(4);
+  meta.store_dir_entry(2, entry);
 
   EXPECT_EQ(meta.owner(3), 7);
   EXPECT_EQ(meta.frame_of(1), 5);  // migrate bit masked off
-  EXPECT_EQ(meta.dir(2), kDirSharedBit | dir_bit(4));
+  const proto::DirEntry back = meta.dir_entry(2);
+  EXPECT_TRUE(back.shared);
+  EXPECT_TRUE(back.sharers.test(4));
+  EXPECT_EQ(back.sharers.count(), 1);
+  // The packed single-word form round-trips through the raw store.
+  EXPECT_EQ(store.words[static_cast<int>(proto::MetaKind::kDirectory)][2],
+            kDirSharedBit | dir_bit(4));
 
   ASSERT_EQ(sink.events.size(), 3u);  // reads are not traced
   EXPECT_EQ(sink.events[0].kind, proto::TraceKind::kMetaWrite);

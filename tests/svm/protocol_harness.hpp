@@ -267,19 +267,16 @@ class Harness final : public proto::MetaStore {
       h_.core(dest).inbox.push_back(m);
     }
 
-    int multicast(u64 dest_mask, const Msg& m) override {
+    int multicast(const proto::SharerSet& dests, const Msg& m) override {
       h_.core(id_).trace.record(
           proto::TraceEvent{proto::TraceKind::kMsgSend, m.page,
-                            static_cast<u64>(m.type), dest_mask});
+                            static_cast<u64>(m.type), dests.word(0)});
       int n = 0;
-      for (std::size_t d = 0; d < h_.cores_.size(); ++d) {
-        if (static_cast<int>(d) == id_) continue;
-        if ((dest_mask & proto::dir_bit(static_cast<int>(d))) == 0) {
-          continue;
-        }
-        h_.cores_[d]->inbox.push_back(m);
+      dests.for_each([&](int d) {
+        if (d == id_ || d >= static_cast<int>(h_.cores_.size())) return;
+        h_.cores_[static_cast<std::size_t>(d)]->inbox.push_back(m);
         ++n;
-      }
+      });
       return n;
     }
 

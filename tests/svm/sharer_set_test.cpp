@@ -1,0 +1,201 @@
+// SharerSet and wide-directory tests: the inline-word encoding at SCC
+// widths, the spilled multi-word encoding at 65 and 1024 cores, and the
+// DirEntry round-trip through both the narrow (single packed word) and
+// wide (flags word + sharer words) MetaStore serialisations.
+//
+// Links the protocol library only — the sharer set must stay free of
+// simulator dependencies.
+#include "svm/protocol/sharer_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "svm/protocol/meta.hpp"
+
+namespace msvm::svm::proto {
+namespace {
+
+TEST(SharerSet, InlineWordAtSccWidth) {
+  SharerSet s(48);
+  EXPECT_EQ(s.num_words(), 1);
+  EXPECT_TRUE(s.none());
+  s.set(0);
+  s.set(47);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(47));
+  EXPECT_FALSE(s.test(23));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_EQ(s.word(0), (u64{1} << 47) | 1);
+  s.clear(0);
+  EXPECT_EQ(s.count(), 1);
+  // Out-of-width ids are ignored, not UB.
+  s.set(48);
+  s.set(-1);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_FALSE(s.test(48));
+}
+
+TEST(SharerSet, SpillsAtSixtyFive) {
+  SharerSet s(65);
+  EXPECT_EQ(s.num_words(), 2);
+  s.set(63);
+  s.set(64);  // first bit of the second word
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_EQ(s.word(0), u64{1} << 63);
+  EXPECT_EQ(s.word(1), u64{1});
+  s.clear(63);
+  EXPECT_FALSE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.any());
+  s.clear(64);
+  EXPECT_TRUE(s.none());
+}
+
+TEST(SharerSet, WordRoundTripAtSixtyFive) {
+  // Serialise through word()/set_word() — the exact path the wide
+  // MetaStore uses — and get the same membership back.
+  SharerSet a(65);
+  a.set(0);
+  a.set(31);
+  a.set(63);
+  a.set(64);
+  SharerSet b(65);
+  for (int w = 0; w < a.num_words(); ++w) b.set_word(w, a.word(w));
+  for (int id = 0; id < 65; ++id) {
+    EXPECT_EQ(b.test(id), a.test(id)) << "id " << id;
+  }
+  EXPECT_EQ(b.count(), 4);
+}
+
+TEST(SharerSet, SpillRoundTripAtTenTwentyFour) {
+  SharerSet a(1024);
+  EXPECT_EQ(a.num_words(), 16);
+  const int members[] = {0, 1, 63, 64, 511, 512, 767, 1023};
+  for (const int id : members) a.set(id);
+  EXPECT_EQ(a.count(), 8);
+
+  SharerSet b(1024);
+  for (int w = 0; w < a.num_words(); ++w) b.set_word(w, a.word(w));
+  std::vector<int> seen;
+  b.for_each([&seen](int id) { seen.push_back(id); });
+  EXPECT_EQ(seen, std::vector<int>(std::begin(members), std::end(members)))
+      << "for_each must visit members in ascending order";
+
+  b.reset();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0);
+}
+
+// ---- DirEntry round-trips through MetaStore serialisations ----
+
+/// Narrow store: the default single-word packing over a plain map.
+class MapStore : public MetaStore {
+ public:
+  explicit MapStore(int width) : width_(width) {}
+  int sharer_width() const override { return width_; }
+  u64 load(MetaKind kind, u64 page) override {
+    return words_[{static_cast<u64>(kind), page}];
+  }
+  void store(MetaKind kind, u64 page, u64 value) override {
+    words_[{static_cast<u64>(kind), page}] = value;
+  }
+
+ private:
+  int width_;
+  std::map<std::pair<u64, u64>, u64> words_;
+};
+
+/// Wide store: flags word + ceil(width/64) sharer words per page, the
+/// same format SvmRuntime lays out in simulated DRAM past 64 cores.
+class WideMapStore : public MapStore {
+ public:
+  explicit WideMapStore(int width) : MapStore(width) {}
+  DirEntry load_dir(u64 page) override {
+    DirEntry e(sharer_width());
+    e.shared = (row_[page].flags & 1) != 0;
+    for (int w = 0; w < e.sharers.num_words(); ++w) {
+      e.sharers.set_word(w, word_of(page, w));
+    }
+    return e;
+  }
+  void store_dir(u64 page, const DirEntry& e) override {
+    row_[page].flags = e.shared ? 1 : 0;
+    row_[page].words.assign(
+        static_cast<std::size_t>(e.sharers.num_words()), 0);
+    for (int w = 0; w < e.sharers.num_words(); ++w) {
+      row_[page].words[static_cast<std::size_t>(w)] = e.sharers.word(w);
+    }
+  }
+
+ private:
+  u64 word_of(u64 page, int w) {
+    const auto& v = row_[page].words;
+    return static_cast<std::size_t>(w) < v.size()
+               ? v[static_cast<std::size_t>(w)]
+               : 0;
+  }
+  struct Row {
+    u64 flags = 0;
+    std::vector<u64> words;
+  };
+  std::map<u64, Row> row_;
+};
+
+TEST(DirEntry, NarrowPackingKeepsSharersUpToSixtyThree) {
+  // The single-word encoding must carry sharer ids 48..62 — dies of up
+  // to 63 cores still use it.
+  MapStore store(63);
+  MetaWord meta(store);
+  DirEntry e(63);
+  e.shared = true;
+  e.sharers.set(4);
+  e.sharers.set(62);
+  meta.store_dir_entry(7, e);
+  const DirEntry back = meta.dir_entry(7);
+  EXPECT_TRUE(back.shared);
+  EXPECT_TRUE(back.sharers.test(4));
+  EXPECT_TRUE(back.sharers.test(62));
+  EXPECT_EQ(back.sharers.count(), 2);
+  // And the raw packed word is the historical layout.
+  EXPECT_EQ(store.load(MetaKind::kDirectory, 7),
+            kDirSharedBit | dir_bit(4) | dir_bit(62));
+}
+
+TEST(DirEntry, WideRoundTripAtSixtyFive) {
+  WideMapStore store(65);
+  MetaWord meta(store);
+  DirEntry e(65);
+  e.shared = true;
+  e.sharers.set(63);
+  e.sharers.set(64);
+  meta.store_dir_entry(3, e);
+  const DirEntry back = meta.dir_entry(3);
+  EXPECT_TRUE(back.shared);
+  EXPECT_TRUE(back.sharers.test(63));
+  EXPECT_TRUE(back.sharers.test(64));
+  EXPECT_EQ(back.sharers.count(), 2);
+  meta.clear_dir(3);
+  EXPECT_TRUE(meta.dir_entry(3).none());
+}
+
+TEST(DirEntry, WideRoundTripAtTenTwentyFour) {
+  WideMapStore store(1024);
+  MetaWord meta(store);
+  DirEntry e(1024);
+  e.shared = true;
+  for (int id = 0; id < 1024; id += 129) e.sharers.set(id);
+  meta.store_dir_entry(11, e);
+  const DirEntry back = meta.dir_entry(11);
+  EXPECT_TRUE(back.shared);
+  EXPECT_EQ(back.sharers.count(), e.sharers.count());
+  for (int id = 0; id < 1024; ++id) {
+    ASSERT_EQ(back.sharers.test(id), e.sharers.test(id)) << "id " << id;
+  }
+}
+
+}  // namespace
+}  // namespace msvm::svm::proto

@@ -80,8 +80,8 @@ TEST(SvmFirstTouch, FirstToucherAllocatesNearItsMc) {
   });
   scc::ChipConfig ccfg = base_config(48, Model::kLazyRelease).chip;
   scc::AddrMap map(ccfg);
-  EXPECT_EQ(map.decode(frame_paddr_0).owner, scc::Mesh::nearest_mc(0));
-  EXPECT_EQ(map.decode(frame_paddr_47).owner, scc::Mesh::nearest_mc(47));
+  EXPECT_EQ(map.decode(frame_paddr_0).owner, scc::Topology::scc_default().nearest_mc(0));
+  EXPECT_EQ(map.decode(frame_paddr_47).owner, scc::Topology::scc_default().nearest_mc(47));
 }
 
 TEST(SvmFirstTouch, OnlyOneCoreAllocatesEachPage) {
@@ -443,7 +443,7 @@ TEST(SvmNextTouch, PageMigratesToToucher) {
   scc::ChipConfig ccfg = base_config(48, Model::kLazyRelease).chip;
   scc::AddrMap map(ccfg);
   EXPECT_EQ(map.decode(frame_before).owner, 0);
-  EXPECT_EQ(map.decode(frame_after).owner, scc::Mesh::nearest_mc(47));
+  EXPECT_EQ(map.decode(frame_after).owner, scc::Topology::scc_default().nearest_mc(47));
 }
 
 TEST(SvmNextTouch, FreedFrameIsReused) {

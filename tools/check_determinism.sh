@@ -1,16 +1,20 @@
 #!/bin/sh
-# Determinism gate: runs the fig9 Laplace bench twice with the same seed
-# in separate scratch directories and byte-compares the emitted
-# BENCH_fig9.json. The simulation derives every number from virtual time,
-# so any divergence between the two runs means nondeterminism leaked into
-# the substrate (host-pointer ordering, uninitialised reads, wall-clock
+# Determinism gate: runs a bench binary twice with identical arguments in
+# separate scratch directories and byte-compares stdout plus every emitted
+# BENCH_*.json. The simulation derives every number from virtual time, so
+# any divergence between the two runs means nondeterminism leaked into the
+# substrate (host-pointer ordering, uninitialised reads, wall-clock
 # coupling) — the property every baseline byte-comparison in CI stands on.
 #
-# Usage: check_determinism.sh <path-to-fig9_laplace> [--seed=N]
+# Usage: check_determinism.sh <bench binary> [bench args...]
+#   With no bench args the historical fig9 invocation (--quick --seed=42)
+#   is used. CI also points this at the scaling bench at a >48-core,
+#   multi-lane configuration to pin the sharded event-lane scheduler.
 set -u
 
-BIN=${1:?usage: check_determinism.sh <fig9_laplace binary> [--seed=N]}
-SEED=${2:---seed=42}
+BIN=${1:?usage: check_determinism.sh <bench binary> [bench args...]}
+shift
+[ $# -gt 0 ] || set -- --quick --seed=42
 
 case "$BIN" in
 /*) ;;
@@ -25,19 +29,40 @@ TMP=$(mktemp -d) || exit 1
 trap 'rm -rf "$TMP"' EXIT
 mkdir "$TMP/run1" "$TMP/run2"
 
-(cd "$TMP/run1" && "$BIN" --quick "$SEED" >/dev/null) || {
+(cd "$TMP/run1" && "$BIN" "$@" > stdout.txt) || {
   echo "determinism-gate: first run failed" >&2
   exit 1
 }
-(cd "$TMP/run2" && "$BIN" --quick "$SEED" >/dev/null) || {
+(cd "$TMP/run2" && "$BIN" "$@" > stdout.txt) || {
   echo "determinism-gate: second run failed" >&2
   exit 1
 }
 
-if ! cmp -s "$TMP/run1/BENCH_fig9.json" "$TMP/run2/BENCH_fig9.json"; then
-  echo "determinism-gate: FAIL: BENCH_fig9.json differs between two" \
-       "runs with $SEED" >&2
-  diff "$TMP/run1/BENCH_fig9.json" "$TMP/run2/BENCH_fig9.json" >&2
-  exit 1
+status=0
+if ! cmp -s "$TMP/run1/stdout.txt" "$TMP/run2/stdout.txt"; then
+  echo "determinism-gate: FAIL: stdout differs between two runs ($*)" >&2
+  diff "$TMP/run1/stdout.txt" "$TMP/run2/stdout.txt" >&2
+  status=1
 fi
-echo "determinism-gate: BENCH_fig9.json byte-identical across two runs"
+
+found=0
+for a in "$TMP/run1"/BENCH_*.json; do
+  [ -e "$a" ] || break
+  found=1
+  b="$TMP/run2/$(basename "$a")"
+  if ! cmp -s "$a" "$b"; then
+    echo "determinism-gate: FAIL: $(basename "$a") differs between two" \
+         "runs ($*)" >&2
+    diff "$a" "$b" >&2
+    status=1
+  fi
+done
+if [ "$found" -eq 0 ]; then
+  echo "determinism-gate: no BENCH_*.json emitted by $BIN $*" >&2
+  status=1
+fi
+
+[ "$status" -eq 0 ] &&
+  echo "determinism-gate: stdout and BENCH_*.json byte-identical across" \
+       "two runs ($(basename "$BIN") $*)"
+exit $status
