@@ -18,13 +18,27 @@
 //
 // With --faults the given plan replaces the random matrix (one plan,
 // still run across all workloads and both delivery modes).
+//
+// Kill mode (`--kill`) runs the fail-stop campaign instead: seeded
+// slot-mosaic runs cycling {48, 96, 256} cores (multi-lane scheduling
+// at and above 96) x {strong, strong+rr, lrc}, each killing 1..3
+// random cores at random virtual times under the heartbeat-lease
+// recovery envelope. Every run must end as correct-surviving-cores, a
+// typed data loss, or a clean HangError — never wrong data, never a
+// crash. `--audit` attaches the ShadowDirectory coherence auditor and
+// fails the campaign on any invariant violation.
+//
+//   ./chaos_campaign --kill --plans=126 --audit
+//   ./chaos_campaign --kill --plans=9 --cores=96 --lanes=4
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "sim/faults.hpp"
 #include "workloads/histogram.hpp"
+#include "workloads/kill_mosaic.hpp"
 #include "workloads/laplace.hpp"
 #include "workloads/matmul.hpp"
 
@@ -32,12 +46,13 @@ namespace {
 
 using namespace msvm;
 
-enum class Outcome { kCorrect, kCleanHang, kWrong };
+enum class Outcome { kCorrect, kCleanHang, kDataLoss, kWrong };
 
 const char* outcome_name(Outcome o) {
   switch (o) {
     case Outcome::kCorrect: return "correct";
     case Outcome::kCleanHang: return "clean-hang";
+    case Outcome::kDataLoss: return "data-loss";
     case Outcome::kWrong: return "WRONG";
   }
   return "?";
@@ -129,12 +144,191 @@ Outcome histogram_once(const sim::FaultPlan& plan, bool use_ipi,
   return r.bins == want ? Outcome::kCorrect : Outcome::kWrong;
 }
 
+// ---------------------------------------------------------------------------
+// Kill mode: the fail-stop campaign.
+
+struct KillCombo {
+  int cores;
+  int lanes;
+  svm::Model model;
+  bool read_replication;
+  const char* name;
+};
+
+/// {48, 96, 256} cores x {strong, strong+rr, lrc}; 96+ runs the sharded
+/// multi-lane scheduler.
+constexpr KillCombo kKillCombos[] = {
+    {48, 1, svm::Model::kStrong, false, "strong"},
+    {48, 1, svm::Model::kStrong, true, "strong+rr"},
+    {48, 1, svm::Model::kLazyRelease, false, "lrc"},
+    {96, 4, svm::Model::kStrong, false, "strong"},
+    {96, 4, svm::Model::kStrong, true, "strong+rr"},
+    {96, 4, svm::Model::kLazyRelease, false, "lrc"},
+    {256, 8, svm::Model::kStrong, false, "strong"},
+    {256, 8, svm::Model::kStrong, true, "strong+rr"},
+    {256, 8, svm::Model::kLazyRelease, false, "lrc"},
+};
+
+/// 1..3 distinct victims at random ns-aligned virtual times; the times
+/// stay ns-aligned so plan.to_spec() round-trips through parse().
+sim::FaultPlan random_kill_plan(sim::Rng& rng, u64 plan_seed, int cores) {
+  sim::FaultPlan plan;
+  plan.seed = plan_seed;
+  const u64 nkills = 1 + rng.next_below(3);
+  for (u64 k = 0; k < nkills; ++k) {
+    sim::KillSpec spec;
+    for (;;) {
+      spec.core = static_cast<int>(rng.next_below(static_cast<u64>(cores)));
+      bool dup = false;
+      for (const sim::KillSpec& prev : plan.kills) {
+        if (prev.core == spec.core) dup = true;
+      }
+      if (!dup) break;
+    }
+    spec.at_ps =
+        (200'000 + static_cast<TimePs>(rng.next_below(4'800'000))) * kPsPerNs;
+    plan.kills.push_back(spec);
+  }
+  // Recovery envelope: armed watchdog (hangs must be typed), heartbeat
+  // lease (detection), poll sweep + degrade + fast retry as usual.
+  plan.watchdog_ps = 500 * kPsPerMs;
+  plan.sweep_period = 2;
+  plan.degrade_after = 6;
+  plan.retry_ps = 2 * kPsPerMs;
+  plan.lease_ps = 500 * kPsPerUs;
+  return plan;
+}
+
+int kill_campaign(int argc, char** argv, u64 seed, u64 num_plans) {
+  const int fixed_cores =
+      static_cast<int>(bench::arg_u64(argc, argv, "cores", 0));
+  const int fixed_lanes =
+      static_cast<int>(bench::arg_u64(argc, argv, "lanes", 0));
+  const bool audit = bench::arg_flag(argc, argv, "audit");
+
+  bench::print_header(
+      "chaos campaign (kill mode): fail-stop deaths under recovery",
+      "contract: surviving cores correct, losses typed, hangs clean");
+
+  bench::JsonReport json("chaos_campaign_kill", argc, argv);
+  json.config("plans", num_plans);
+  if (audit) json.config("audit", u64{1});
+
+  sim::Rng rng = bench::seeded_rng(seed);
+  u64 correct = 0;
+  u64 clean_hangs = 0;
+  u64 data_loss = 0;
+  u64 wrong = 0;
+  u64 audit_violations = 0;
+  u64 recoveries = 0;
+
+  for (u64 i = 0; i < num_plans; ++i) {
+    const KillCombo& combo = kKillCombos[i % std::size(kKillCombos)];
+    const int cores = fixed_cores > 0 ? fixed_cores : combo.cores;
+    workloads::KillMosaicParams p;
+    p.sched_lanes = fixed_lanes > 0
+                        ? fixed_lanes
+                        : (fixed_cores > 0 ? (cores >= 96 ? 4 : 1)
+                                           : combo.lanes);
+    p.seed = seed * 1000 + i;
+    p.read_replication = combo.read_replication;
+    p.use_ipi = (i % 2) == 0;
+    p.audit = audit;
+    p.faults = random_kill_plan(rng, p.seed, cores);
+    const std::string spec = p.faults.to_spec();
+
+    std::printf("run %3llu/%llu: %3d cores x%d %-9s %s\n",
+                static_cast<unsigned long long>(i + 1),
+                static_cast<unsigned long long>(num_plans), cores,
+                p.sched_lanes, combo.name, spec.c_str());
+
+    Outcome o = Outcome::kCorrect;
+    workloads::KillMosaicResult r;
+    try {
+      r = workloads::run_kill_mosaic(p, combo.model, cores);
+      if (r.slot_mismatches > 0) {
+        std::fprintf(stderr, "  WRONG: %llu slot mismatch(es)\n",
+                     static_cast<unsigned long long>(r.slot_mismatches));
+        o = Outcome::kWrong;
+      } else if (r.ranks_lost > 0) {
+        o = Outcome::kDataLoss;
+      }
+      if (audit && r.audit_violations > 0) {
+        std::fprintf(stderr, "  AUDIT: %s", r.audit_report.c_str());
+        audit_violations += r.audit_violations;
+        o = Outcome::kWrong;
+      }
+      recoveries += r.recoveries;
+    } catch (const sim::HangError& e) {
+      if (e.report().empty()) {
+        std::fprintf(stderr, "  HangError with empty report\n");
+        o = Outcome::kWrong;
+      } else {
+        if (g_print_reports) {
+          std::printf("  --- hang report ---\n%s", e.report().c_str());
+        }
+        o = Outcome::kCleanHang;
+      }
+    }
+
+    std::printf("  -> %-10s verified=%d lost=%d recoveries=%llu "
+                "(rehomed=%llu refetched=%llu poisoned=%llu) "
+                "locks_broken=%llu%s\n",
+                outcome_name(o), r.ranks_verified, r.ranks_lost,
+                static_cast<unsigned long long>(r.recoveries),
+                static_cast<unsigned long long>(r.pages_rehomed),
+                static_cast<unsigned long long>(r.pages_refetched),
+                static_cast<unsigned long long>(r.pages_lost),
+                static_cast<unsigned long long>(r.locks_broken),
+                audit ? (r.audit_violations == 0 ? " audit=clean"
+                                                 : " audit=VIOLATED")
+                      : "");
+    switch (o) {
+      case Outcome::kCorrect: ++correct; break;
+      case Outcome::kCleanHang: ++clean_hangs; break;
+      case Outcome::kDataLoss: ++data_loss; break;
+      case Outcome::kWrong: ++wrong; break;
+    }
+  }
+
+  const u64 total = correct + clean_hangs + data_loss + wrong;
+  bench::print_row_sep();
+  std::printf("kill campaign: %llu run(s): %llu correct, %llu typed "
+              "data-loss, %llu clean hang(s), %llu WRONG\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(correct),
+              static_cast<unsigned long long>(data_loss),
+              static_cast<unsigned long long>(clean_hangs),
+              static_cast<unsigned long long>(wrong));
+  json.sample("correct", static_cast<double>(correct));
+  json.sample("data_loss", static_cast<double>(data_loss));
+  json.sample("clean_hangs", static_cast<double>(clean_hangs));
+  json.sample("wrong", static_cast<double>(wrong));
+  json.sample("recoveries", static_cast<double>(recoveries));
+  if (audit) json.sample("audit_violations",
+                         static_cast<double>(audit_violations));
+  if (wrong != 0) {
+    std::fprintf(stderr,
+                 "kill campaign FAILED: %llu run(s) broke the contract\n",
+                 static_cast<unsigned long long>(wrong));
+    return 1;
+  }
+  std::printf("kill campaign passed: every death ended in surviving-core "
+              "correctness, a typed loss, or a clean hang%s\n",
+              audit ? " (auditor clean)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace msvm;
   const u64 seed = bench::arg_seed(argc, argv);
   const u64 num_plans = bench::arg_u64(argc, argv, "plans", 20);
+  if (bench::arg_flag(argc, argv, "kill")) {
+    g_print_reports = bench::arg_flag(argc, argv, "report");
+    return kill_campaign(argc, argv, seed, num_plans);
+  }
   const int cores =
       static_cast<int>(bench::arg_u64(argc, argv, "cores", 4));
   const std::string fixed_spec = bench::arg_str(argc, argv, "faults");

@@ -83,22 +83,46 @@ Cluster::Cluster(ClusterConfig cfg)
   nodes_.resize(static_cast<std::size_t>(cfg_.chip.num_cores));
 }
 
+std::size_t Cluster::lost_members() const {
+  if (chip_.dead_count() == 0) return 0;
+  std::size_t n = 0;
+  for (const int m : members_) {
+    if (chip_.core_dead(m) && member_done_[static_cast<std::size_t>(m)] == 0)
+      ++n;
+  }
+  return n;
+}
+
 void Cluster::run(Body body) {
+  member_done_.assign(static_cast<std::size_t>(cfg_.chip.num_cores), 0);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     for (const int core_id : groups_[g]) {
       chip_.spawn_program(core_id, [this, g, body](scc::Core& core) {
         auto& slot = nodes_[static_cast<std::size_t>(core.id())];
         slot = std::make_unique<Node>(core, groups_[g], cfg_.use_ipi,
                                       *domains_[g]);
-        body(*slot);
+        try {
+          body(*slot);
+        } catch (const svm::SvmDataLossError& e) {
+          // A fail-stopped owner took this member's data with it. The
+          // loss is already typed and attributed; record it and keep the
+          // kernel alive to serve the survivors' protocol traffic. Any
+          // other exception (including the scheduler's cancellation)
+          // propagates untouched.
+          failures_.push_back(MemberFailure{core.id(), e.page(), e.what()});
+        }
         // The program is done, but this kernel must stay alive to serve
         // mailbox traffic (e.g. strong-model ownership requests from
         // cores still running) — exactly like the real MetalSVM kernel
         // idling in its interrupt loop. The last core wakes the idlers.
+        // Members that fail-stopped mid-body never get here, so the
+        // completion condition counts them via lost_members().
+        member_done_[static_cast<std::size_t>(core.id())] = 1;
         ++done_count_;
-        if (done_count_ == members_.size()) {
+        if (done_count_ + lost_members() >= members_.size()) {
           for (const int other : members_) {
-            if (other != core.id()) core.raise_ipi(other);
+            if (other != core.id() && !chip_.core_dead(other))
+              core.raise_ipi(other);
           }
           return;
         }
@@ -106,12 +130,15 @@ void Cluster::run(Body body) {
         sim::BlockScope scope(chip_.scheduler().current(), "cluster.idle",
                               static_cast<u64>(core.id()));
         std::size_t last_done = done_count_;
+        std::size_t last_lost = lost_members();
         TimePs since = core.now();
-        while (done_count_ < members_.size()) {
-          if (done_count_ != last_done) {
+        while (done_count_ + lost_members() < members_.size()) {
+          if (done_count_ != last_done || lost_members() != last_lost) {
             // Progress elsewhere resets the idler's hang clock: idling
-            // is only a hang when no member finishes for a whole limit.
+            // is only a hang when no member finishes (and no member
+            // dies) for a whole limit.
             last_done = done_count_;
+            last_lost = lost_members();
             since = core.now();
           }
           if (chip_.watchdog().check(core.now(), since, "cluster.idle",
@@ -135,6 +162,8 @@ void Cluster::run(Body body) {
     // (named counters; the --metrics flag dumps them into BENCH_*.json).
     obs::MetricsRegistry& m = obs::global_metrics();
     for (const int c : members_) {
+      // A member killed during boot never finished constructing its node.
+      if (!nodes_[static_cast<std::size_t>(c)]) continue;
       obs::fold_fields(m, "svm", node(c).svm().stats(),
                        svm::proto::kSvmStatsFields);
       obs::fold_fields(m, "mailbox", node(c).mbox().stats(),

@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "kernel/kernel.hpp"
@@ -75,6 +76,18 @@ class Cluster {
   using Body = std::function<void(Node&)>;
   void run(Body body);
 
+  /// One member whose program body aborted on a typed data-loss error
+  /// (a page poisoned by a fail-stopped owner). The member's kernel
+  /// keeps serving protocol traffic afterwards; the loss is surfaced
+  /// here instead of crashing the SPMD run.
+  struct MemberFailure {
+    int core_id;
+    u64 page;
+    std::string what;
+  };
+  /// Data-loss aborts recorded during run(); empty on a clean run.
+  const std::vector<MemberFailure>& failures() const { return failures_; }
+
   /// Node for a member core; valid after run() for stats collection.
   Node& node(int core_id);
 
@@ -82,6 +95,11 @@ class Cluster {
   TimePs makespan() const { return chip_.makespan(); }
 
  private:
+  /// Members that fail-stopped before their body returned: they can
+  /// never bump done_count_, so completion counts them as finished.
+  /// Members that died *after* finishing stay on the done side only.
+  std::size_t lost_members() const;
+
   ClusterConfig cfg_;
   std::vector<std::vector<int>> groups_;  // at least one
   std::vector<int> members_;              // union of the groups
@@ -89,6 +107,8 @@ class Cluster {
   std::vector<std::unique_ptr<svm::SvmDomain>> domains_;  // per group
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by core id
   std::size_t done_count_ = 0;  // members whose program body returned
+  std::vector<char> member_done_;  // indexed by core id
+  std::vector<MemberFailure> failures_;
 };
 
 }  // namespace msvm::cluster

@@ -42,6 +42,18 @@ void Kernel::boot() {
     for (auto& h : timer_handlers_) h();
   });
 
+  // Heartbeat lease (failure detection, opt-in via faults `lease=DUR`):
+  // every timer tick refreshes this core's lease host-side; a peer whose
+  // lease lapses is presumed fail-stopped. The modelled cost is a couple
+  // of register writes inside the already-charged timer handler.
+  if (chip.lease_enabled()) {
+    chip.record_heartbeat(core_.id(), core_.now());  // alive at boot
+    add_timer_handler([this] {
+      core_.compute_cycles(20);
+      core_.chip().record_heartbeat(core_.id(), core_.now());
+    });
+  }
+
   // Fault dispatch: SVM addresses go to the SVM subsystem, anything else
   // is a kernel bug.
   core_.set_fault_handler([this](scc::Core&, u64 vaddr, bool is_write) {

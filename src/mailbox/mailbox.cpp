@@ -163,6 +163,17 @@ void MailboxSystem::send(int dest, const Mail& mail) {
       return;
     }
     core_.irq_enable();
+    // Fail fast on a dead destination: its inbound slot will never drain
+    // again, so stalling here would hang until the watchdog. The mail is
+    // dropped — exactly what the wire does to a dead receiver — and the
+    // sender recovers through the protocol retransmission/recovery layer.
+    // (A deposit into an *empty* dead slot above is harmless: the MPB is
+    // just memory, and nobody will read it.)
+    if (core_.chip().peer_presumed_dead(dest, core_.now())) {
+      ++stats_.dead_drops;
+      if (stall_t0 != 0) stats_.send_stall_ps += core_.now() - stall_t0;
+      return;
+    }
     ++stats_.send_stalls;
     if (stall_t0 == 0) stall_t0 = core_.now();
     if (core_.chip().watchdog().check(core_.now(), stall_t0, "mbox.send",

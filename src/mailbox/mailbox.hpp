@@ -57,6 +57,7 @@ struct MailboxStats {
   u64 sweep_recoveries = 0; // mails found by the IPI-mode poll sweep
   u64 degradations = 0;     // 1 once the mailbox fell back to poll mode
   u64 dispatches_deferred = 0;  // handler runs queued past the depth cap
+  u64 dead_drops = 0;       // sends dropped: destination presumed dead
 };
 
 /// Self-description of MailboxStats, in declaration order, for
@@ -79,6 +80,7 @@ inline constexpr MailboxStatsField kMailboxStatsFields[] = {
     {"sweep_recoveries", &MailboxStats::sweep_recoveries},
     {"degradations", &MailboxStats::degradations},
     {"dispatches_deferred", &MailboxStats::dispatches_deferred},
+    {"dead_drops", &MailboxStats::dead_drops},
 };
 
 /// Delivery-mode + resilience knobs for one MailboxSystem. The sweep

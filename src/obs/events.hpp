@@ -60,6 +60,11 @@ enum class EventKind : u8 {
   // Chaos layer.
   kFaultInject,   // a: InjectKind, b: injected delay in ps (when timed)
   kWatchdogTrip,  // a: core that noticed the hang
+
+  // Failure recovery (category kCatProto: the auditor and the proto
+  // rings must see epoch fences under the default mask).
+  kRecoveryBegin,  // a: epoch, b: dead-core bitmask (low 64), c: page
+  kRecoveryEnd,    // a: epoch, b: proto::RecoveryAction taken, c: page
 };
 
 /// What the chaos layer injected (payload `a` of kFaultInject).
@@ -70,6 +75,7 @@ enum class InjectKind : u8 {
   kMailDup,
   kStall,
   kSpuriousWake,
+  kCoreKill,
 };
 
 inline const char* to_string(InjectKind k) {
@@ -80,6 +86,7 @@ inline const char* to_string(InjectKind k) {
     case InjectKind::kMailDup: return "mail-dup";
     case InjectKind::kStall: return "stall";
     case InjectKind::kSpuriousWake: return "spurious-wake";
+    case InjectKind::kCoreKill: return "core-kill";
   }
   return "?";
 }
@@ -107,6 +114,8 @@ inline const char* to_string(EventKind k) {
     case EventKind::kMemWrite: return "mem-write";
     case EventKind::kFaultInject: return "fault-inject";
     case EventKind::kWatchdogTrip: return "watchdog-trip";
+    case EventKind::kRecoveryBegin: return "recovery-begin";
+    case EventKind::kRecoveryEnd: return "recovery-end";
   }
   return "?";
 }
@@ -157,6 +166,9 @@ constexpr u32 category_of(EventKind k) {
     case EventKind::kFaultInject:
     case EventKind::kWatchdogTrip:
       return kCatChaos;
+    case EventKind::kRecoveryBegin:
+    case EventKind::kRecoveryEnd:
+      return kCatProto;
   }
   return kCatProto;
 }

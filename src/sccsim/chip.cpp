@@ -7,6 +7,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "sim/log.hpp"
 
 namespace msvm::scc {
 
@@ -52,6 +53,29 @@ Chip::Chip(ChipConfig cfg)
   }
   if (ocfg.heatmap) bus_.attach(&obs::global_heatmap());
   watchdog_.bind_bus(&bus_);
+  // Size the fail-stop bookkeeping only when the plan schedules kills
+  // (every accessor stays a branch on an empty vector otherwise).
+  if (!cfg_.faults.kills.empty()) {
+    kill_at_.assign(static_cast<std::size_t>(cfg_.num_cores), kTimeNever);
+    for (const sim::KillSpec& k : cfg_.faults.kills) {
+      if (k.core < 0 || k.core >= cfg_.num_cores) {
+        throw std::invalid_argument(
+            "msvm::scc::ChipConfig: kill targets core " +
+            std::to_string(k.core) + " but the chip runs " +
+            std::to_string(cfg_.num_cores) + " cores");
+      }
+      auto& at = kill_at_[static_cast<std::size_t>(k.core)];
+      if (k.at_ps < at) at = k.at_ps;
+    }
+    dead_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+    dead_wcb_valid_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+    dead_wcb_line_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+    tas_owner_.assign(
+        static_cast<std::size_t>(topology().max_cores()), -1);
+  }
+  if (cfg_.faults.lease_ps > 0) {
+    heartbeat_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+  }
   cores_.reserve(static_cast<std::size_t>(cfg_.num_cores));
   for (int i = 0; i < cfg_.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(*this, i));
@@ -124,6 +148,13 @@ void Chip::run() {
     throw sim::HangError("simulated hang (deadlock with watchdog armed)",
                          std::string(e.what()) + "\n");
   }
+  if (dead_count_ > 0 && !watchdog_.tripped()) {
+    // Killed fibers are parked mid-stack; unwind them now, from the main
+    // context, while the kernels/mailboxes/SVM runtimes their frames
+    // reference are still alive. Leaving this to ~Scheduler would
+    // destruct those frames after the caller's objects are gone.
+    sched_.cancel_all();
+  }
   if (watchdog_.tripped()) {
     // The tripping actor recorded the report, requested a stop, and
     // parked itself; the scheduler returned early. Unwind every parked
@@ -134,6 +165,26 @@ void Chip::run() {
     throw sim::HangError("simulated hang detected by watchdog",
                          watchdog_.report());
   }
+}
+
+void Chip::fail_stop(Core& c) {
+  const int id = c.id();
+  if (core_dead(id)) return;
+  dead_[static_cast<std::size_t>(id)] = 1;
+  ++dead_count_;
+  if (c.wcb().valid()) {
+    dead_wcb_valid_[static_cast<std::size_t>(id)] = 1;
+    dead_wcb_line_[static_cast<std::size_t>(id)] = c.wcb().line_addr();
+  }
+  MSVM_LOG_INFO("chaos: core %d fail-stopped at %.3fms (wcb %s)", id,
+                ps_to_ms(c.now()), c.wcb().valid() ? "dirty" : "clean");
+  if (bus_.enabled(obs::kCatChaos)) {
+    bus_.publish(obs::Event{
+        static_cast<obs::u64>(c.now()),
+        static_cast<obs::u64>(obs::InjectKind::kCoreKill), 0, 0,
+        obs::EventKind::kFaultInject, id});
+  }
+  sched_.kill_self();
 }
 
 TimePs Chip::mc_queue_delay(int mc, TimePs t) {

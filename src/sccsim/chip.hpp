@@ -69,6 +69,72 @@ class Chip {
   /// Latest virtual completion time across all spawned programs.
   TimePs makespan() const { return makespan_; }
 
+  // ---- fail-stop failure model (host-side bookkeeping; all vectors stay
+  // empty — and every query a constant branch — unless the fault plan
+  // schedules kills or arms the heartbeat lease) ----
+
+  /// True when the fault plan schedules at least one core kill; gates
+  /// the TAS owner tracking below so fault-free runs pay nothing.
+  bool tracking_deaths() const { return !kill_at_.empty(); }
+
+  /// Virtual time core `i` is scheduled to fail-stop (kTimeNever: never).
+  TimePs kill_time(int i) const {
+    return kill_at_.empty() ? kTimeNever
+                            : kill_at_[static_cast<std::size_t>(i)];
+  }
+
+  /// True once core `i` has fail-stopped.
+  bool core_dead(int i) const {
+    return !dead_.empty() && dead_[static_cast<std::size_t>(i)] != 0;
+  }
+  int dead_count() const { return dead_count_; }
+
+  /// The physical line address core `i`'s write-combine buffer held when
+  /// it died (valid flag separate: paddr 0 is a legal line). With a
+  /// write-through L1 this is the *only* store a dead core can have
+  /// failed to make globally visible.
+  bool dead_wcb_valid(int i) const {
+    return !dead_wcb_valid_.empty() &&
+           dead_wcb_valid_[static_cast<std::size_t>(i)] != 0;
+  }
+  u64 dead_wcb_line(int i) const {
+    return dead_wcb_line_[static_cast<std::size_t>(i)];
+  }
+
+  /// Fail-stops the calling core mid-instruction-stream: captures its
+  /// unflushed WCB line, marks it dead, publishes the kill event, and
+  /// parks its fiber forever via Scheduler::kill_self(). Never returns.
+  void fail_stop(Core& c);
+
+  // Heartbeat lease failure detection (kernel timer handlers feed it).
+  bool lease_enabled() const { return cfg_.faults.lease_ps > 0; }
+  void record_heartbeat(int core, TimePs now) {
+    if (!heartbeat_.empty()) {
+      heartbeat_[static_cast<std::size_t>(core)] = now;
+    }
+  }
+  /// The shared failure-detection predicate: true when `peer` has not
+  /// heartbeated for longer than the lease. False whenever the lease is
+  /// disabled — detection is an opt-in recovery knob, never ambient.
+  bool peer_presumed_dead(int peer, TimePs now) const {
+    if (heartbeat_.empty()) return false;
+    return now - heartbeat_[static_cast<std::size_t>(peer)] >
+           cfg_.faults.lease_ps;
+  }
+
+  // TAS lock-owner tracking (populated only when kills are scheduled):
+  // lets recovery break locks orphaned by a dead holder.
+  void note_tas_owner(int reg, int core) {
+    if (!tas_owner_.empty()) tas_owner_[static_cast<std::size_t>(reg)] = core;
+  }
+  void clear_tas_owner(int reg) {
+    if (!tas_owner_.empty()) tas_owner_[static_cast<std::size_t>(reg)] = -1;
+  }
+  int tas_owner(int reg) const {
+    return tas_owner_.empty() ? -1
+                              : tas_owner_[static_cast<std::size_t>(reg)];
+  }
+
  private:
   ChipConfig cfg_;
   Memory memory_;
@@ -81,6 +147,15 @@ class Chip {
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<TimePs> mc_busy_until_;
   TimePs makespan_ = 0;
+
+  // Fail-stop bookkeeping (sized in the ctor only when the plan asks).
+  std::vector<TimePs> kill_at_;     // per-core scheduled death time
+  std::vector<u8> dead_;            // 1 = core has fail-stopped
+  std::vector<u8> dead_wcb_valid_;  // 1 = line below was dirty at death
+  std::vector<u64> dead_wcb_line_;  // unflushed WCB line paddr at death
+  std::vector<TimePs> heartbeat_;   // last heartbeat per core (lease mode)
+  std::vector<int> tas_owner_;      // current TAS holder per reg, -1 free
+  int dead_count_ = 0;
 };
 
 }  // namespace msvm::scc

@@ -60,6 +60,14 @@ void Core::tick(TimePs cost) {
 
 void Core::boundary() {
   if (chip_.faults().enabled()) {
+    // Scheduled fail-stop: the core dies between two instructions —
+    // mid-protocol, mid-handler, locks held, WCB dirty, whatever the
+    // moment happened to be. fail_stop() parks the fiber and never
+    // returns. Checked even inside handlers and masked sections: death
+    // does not wait for sti.
+    if (actor_->clock() >= chip_.kill_time(id_)) {
+      chip_.fail_stop(*this);
+    }
     // Bounded virtual-time stall: the core simply loses time, as if the
     // hardware thread was starved. Delivered work resumes afterwards.
     const TimePs stall = chip_.faults().stall_ps();
@@ -494,6 +502,9 @@ bool Core::tas_try_acquire(int reg) {
   ++counters_.tas_acquires;
   const bool got = chip_.memory().tas_read_acquire(reg);
   if (!got) ++counters_.tas_spins;
+  // Host-side holder note (only in kill-enabled runs): lets recovery
+  // identify and break locks orphaned by a dead holder.
+  if (got && chip_.tracking_deaths()) chip_.note_tas_owner(reg, id_);
   return got;
 }
 
@@ -501,6 +512,7 @@ void Core::tas_release(int reg) {
   const int hops =
       topo_->hops(topo_->coord_of_core(id_), topo_->coord_of_core(reg));
   tick(chip_.latency().tas_access(hops));
+  if (chip_.tracking_deaths()) chip_.clear_tas_owner(reg);
   chip_.memory().tas_write_release(reg);
 }
 

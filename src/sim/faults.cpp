@@ -10,6 +10,18 @@ namespace msvm::sim {
 
 namespace {
 
+/// True when every character of `text` is a plain decimal digit or dot.
+/// Used to reject the exotic spellings std::stod happily accepts — nan,
+/// inf, hex ("0x1f"), exponents, signs — which would otherwise turn into
+/// garbage picosecond values without an error.
+bool plain_decimal(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if ((c < '0' || c > '9') && c != '.') return false;
+  }
+  return true;
+}
+
 /// Parses "500ms" / "2.5us" / "100ns" / "1s" into picoseconds. The unit
 /// suffix is mandatory so a bare number can never silently mean the
 /// wrong scale.
@@ -19,6 +31,9 @@ TimePs parse_duration(const std::string& tok, const std::string& text) {
   try {
     value = std::stod(text, &pos);
   } catch (const std::exception&) {
+    throw FaultSpecError("fault spec: bad duration in '" + tok + "'");
+  }
+  if (!plain_decimal(text.substr(0, pos))) {
     throw FaultSpecError("fault spec: bad duration in '" + tok + "'");
   }
   if (value < 0) {
@@ -38,6 +53,11 @@ TimePs parse_duration(const std::string& tok, const std::string& text) {
     throw FaultSpecError("fault spec: duration needs a ns/us/ms/s suffix in '" +
                          tok + "'");
   }
+  // Guard the double->TimePs cast: an overflowing conversion is UB, and a
+  // "duration" beyond the virtual-time range is a typo anyway.
+  if (value * scale >= static_cast<double>(kTimeNever)) {
+    throw FaultSpecError("fault spec: duration too large in '" + tok + "'");
+  }
   return static_cast<TimePs>(value * scale);
 }
 
@@ -49,7 +69,11 @@ double parse_probability(const std::string& tok, const std::string& text) {
   } catch (const std::exception&) {
     throw FaultSpecError("fault spec: bad probability in '" + tok + "'");
   }
-  if (pos != text.size() || p < 0 || p > 1) {
+  // "nan" passes a naive `p < 0 || p > 1` (both comparisons are false),
+  // and "0x1"/"infinity" parse without consuming the whole token only
+  // sometimes — require full consumption AND an in-range comparison that
+  // NaN fails. Exponent forms ("1e-05") stay legal: to_spec emits them.
+  if (pos != text.size() || !(p >= 0 && p <= 1)) {
     throw FaultSpecError("fault spec: probability outside [0,1] in '" + tok +
                          "'");
   }
@@ -58,6 +82,11 @@ double parse_probability(const std::string& tok, const std::string& text) {
 
 u64 parse_u64(const std::string& tok, const std::string& text) {
   try {
+    // stoull accepts a leading '-' (wrapping modulo 2^64) and skips
+    // leading whitespace; require a plain digit string instead.
+    if (text.empty() || text[0] < '0' || text[0] > '9') {
+      throw std::invalid_argument(text);
+    }
     std::size_t pos = 0;
     const u64 v = std::stoull(text, &pos);
     if (pos != text.size()) throw std::invalid_argument(text);
@@ -65,6 +94,26 @@ u64 parse_u64(const std::string& tok, const std::string& text) {
   } catch (const std::exception&) {
     throw FaultSpecError("fault spec: bad integer in '" + tok + "'");
   }
+}
+
+/// Splits "CORE@TIME" for kill clauses.
+KillSpec parse_kill(const std::string& tok, const std::string& text) {
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) {
+    throw FaultSpecError("fault spec: expected CORE@TIME in '" + tok + "'");
+  }
+  KillSpec k;
+  const u64 core = parse_u64(tok, text.substr(0, at));
+  if (core > 100000) {
+    throw FaultSpecError("fault spec: implausible core id in '" + tok + "'");
+  }
+  k.core = static_cast<int>(core);
+  k.at_ps = parse_duration(tok, text.substr(at + 1));
+  if (k.at_ps <= 0) {
+    throw FaultSpecError("fault spec: kill time must be positive in '" + tok +
+                         "'");
+  }
+  return k;
 }
 
 /// Splits "P:DUR" for the delay/stall knobs.
@@ -143,6 +192,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         plan.degrade_after = static_cast<u32>(parse_u64(tok, val));
       } else if (key == "retry") {
         plan.retry_ps = parse_duration(tok, val);
+      } else if (key == "kill") {
+        plan.kills.push_back(parse_kill(tok, val));
+      } else if (key == "lease") {
+        plan.lease_ps = parse_duration(tok, val);
       } else {
         throw FaultSpecError("fault spec: unknown key '" + key + "'");
       }
@@ -179,6 +232,10 @@ std::string FaultPlan::to_spec() const {
   if (sweep_period > 0) add("sweep=" + std::to_string(sweep_period));
   if (degrade_after > 0) add("degrade=" + std::to_string(degrade_after));
   if (retry_ps > 0) add("retry=" + fmt_duration(retry_ps));
+  if (lease_ps > 0) add("lease=" + fmt_duration(lease_ps));
+  for (const KillSpec& k : kills) {
+    add("kill=" + std::to_string(k.core) + "@" + fmt_duration(k.at_ps));
+  }
   return out;
 }
 
@@ -194,7 +251,7 @@ bool Watchdog::check(TimePs now, TimePs since, const char* site,
       << ps_to_ms(now - since) << " ms blocked (limit "
       << ps_to_ms(limit_) << " ms)\n"
       << "blocked actors:\n"
-      << sched_.describe_blocked_actors();
+      << sched_.describe_blocked_actors() << sched_.describe_lanes();
   report_ = oss.str();
   for (const auto& provider : providers_) provider(report_);
   report_ += "=== end hang report ===\n";

@@ -29,9 +29,15 @@
 //   sweep=N           IPI mode: poll-sweep every N timer ticks (0 = off)
 //   degrade=N         drop to poll mode after N sweep recoveries (0 = off)
 //   retry=DUR         base protocol retransmission timeout (0 = default)
+//   kill=CORE@TIME    fail-stop core CORE permanently at virtual TIME
+//                     (repeatable; the kill fires at the first tick
+//                     boundary at or after TIME)
+//   lease=DUR         heartbeat lease: a core silent for more than DUR
+//                     is presumed dead (0 = no failure detection)
 //
 // DUR is an integer or decimal with a mandatory ns/us/ms/s suffix,
-// e.g. `watchdog=500ms,ipi_drop=0.2,ipi_delay=0.1:200us`.
+// e.g. `watchdog=500ms,ipi_drop=0.2,ipi_delay=0.1:200us`. A kill-enabled
+// plan reads `kill=3@10ms,lease=2ms,watchdog=500ms`.
 #pragma once
 
 #include <cstddef>
@@ -54,6 +60,17 @@ class FaultSpecError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// One scheduled fail-stop death: core `core` halts forever at the first
+/// tick boundary at or after virtual time `at_ps`.
+struct KillSpec {
+  int core = 0;
+  TimePs at_ps = 0;
+
+  friend bool operator==(const KillSpec& a, const KillSpec& b) {
+    return a.core == b.core && a.at_ps == b.at_ps;
+  }
+};
+
 struct FaultPlan {
   u64 seed = 1;
 
@@ -67,17 +84,23 @@ struct FaultPlan {
   TimePs stall_max_ps = 50 * kPsPerUs;
   double spurious = 0.0;
 
+  // Scheduled fail-stop deaths (default none). Kills are deterministic —
+  // no RNG draw — so adding one perturbs nothing else in the schedule.
+  std::vector<KillSpec> kills;
+
   // Recovery / hardening knobs (all default off).
   TimePs watchdog_ps = 0;   // per-core hang limit; 0 disables the watchdog
   u32 sweep_period = 0;     // IPI mode: poll sweep every N timer ticks
   u32 degrade_after = 0;    // degrade to poll mode after N sweep recoveries
   TimePs retry_ps = 0;      // protocol retransmission base timeout override
+  TimePs lease_ps = 0;      // heartbeat lease; 0 = no failure detection
 
-  /// True when any injection probability is non-zero. Recovery knobs do
+  /// True when any injection is armed (probabilities or scheduled
+  /// kills). Recovery knobs (watchdog, sweep, degrade, retry, lease) do
   /// not count: an armed watchdog with no faults must stay bit-identical.
   bool any_faults() const {
     return ipi_drop > 0 || ipi_delay > 0 || mail_delay > 0 || mail_dup > 0 ||
-           stall > 0 || spurious > 0;
+           stall > 0 || spurious > 0 || !kills.empty();
   }
 
   /// Parses the spec grammar above. Throws FaultSpecError with the

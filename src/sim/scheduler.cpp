@@ -50,12 +50,15 @@ void Scheduler::cancel_all() {
   for (auto& a : actors_) {
     if (a->state_ != Actor::State::kFinished && a->fiber_ != nullptr &&
         a->fiber_->started() && !a->fiber_->finished()) {
+      // A killed actor already counted itself finished in kill_self();
+      // unwinding it here must not count it twice.
+      const bool was_killed = a->state_ == Actor::State::kKilled;
       current_ = a.get();
       a->fiber_->resume();
       current_ = nullptr;
       if (a->fiber_->finished()) {
         a->state_ = Actor::State::kFinished;
-        ++finished_count_;
+        if (!was_killed) ++finished_count_;
       }
     }
     // The unwound actor may still own a queue entry (it was scheduled, or
@@ -179,7 +182,10 @@ Actor* Scheduler::take_next() {
       const HeapEntry top = ln.heap[0];
       heap_remove_at(ln, 0);
       Actor* next = top.actor;
-      if (next->state_ == Actor::State::kFinished) continue;
+      if (next->state_ == Actor::State::kFinished ||
+          next->state_ == Actor::State::kKilled) {
+        continue;
+      }
       // A popped entry for a blocked actor is a timeout firing.
       next->wake_reason_ = next->state_ == Actor::State::kBlocked
                                ? WakeReason::kTimeout
@@ -228,11 +234,41 @@ std::string Scheduler::describe_blocked_actors() const {
   for (const auto& a : actors_) {
     if (a->state_ == Actor::State::kFinished) continue;
     oss << "  " << a->name() << " @" << a->clock() << "ps";
+    if (a->state_ == Actor::State::kKilled) {
+      oss << " KILLED (fail-stop)\n";
+      continue;
+    }
     const std::string sites = a->describe_sites();
     oss << (sites.empty() ? " (no wait site recorded)" : " waiting at " + sites);
     oss << "\n";
   }
   return oss.str();
+}
+
+std::string Scheduler::describe_lanes() const {
+  if (lanes_.size() <= 1) return "";
+  std::ostringstream oss;
+  oss << "  event lanes: " << lanes_.size() << ", windows opened: "
+      << windows_ << "\n";
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    oss << "  lane " << i << ": " << lanes_[i].dispatched
+        << " events dispatched, " << lanes_[i].heap.size()
+        << " queued\n";
+  }
+  return oss.str();
+}
+
+void Scheduler::kill_self() {
+  Actor* self = current_;
+  assert(self != nullptr && "kill_self() outside an actor");
+  assert(self->heap_pos_ == Actor::kNotInHeap &&
+         "running actor unexpectedly holds a heap entry");
+  self->state_ = Actor::State::kKilled;
+  ++finished_count_;  // the run loop treats the dead core as done
+  dispatch_from(self);
+  // Only reachable when cancel_all resumes the parked fiber — and then
+  // dispatch_from throws CancelledError, so this point is never reached
+  // with a live simulation.
 }
 
 void Scheduler::run() {

@@ -72,7 +72,11 @@ struct BlockSite {
 /// A schedulable fiber with a virtual clock.
 class Actor {
  public:
-  enum class State { kScheduled, kRunning, kBlocked, kFinished };
+  // kKilled models a fail-stop death: the fiber is parked mid-stack
+  // forever (its frames are unwound at teardown by cancel_all), it holds
+  // no heap entry, and wake() ignores it. From the run loop's point of
+  // view a killed actor counts as finished.
+  enum class State { kScheduled, kRunning, kBlocked, kFinished, kKilled };
 
   int id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -229,6 +233,13 @@ class Scheduler {
     return !heap.empty() && heap[0].time < t;
   }
 
+  /// Fail-stop death of the *current* actor: marks it kKilled, counts it
+  /// as finished, and switches away without requeueing it. The fiber
+  /// stays parked mid-stack (simulating a core that stops dead between
+  /// two instructions) until cancel_all unwinds it at teardown. Never
+  /// returns control to the caller except by CancelledError.
+  void kill_self();
+
   /// Suspends the current actor until wake(). Returns the reason.
   WakeReason block();
 
@@ -258,6 +269,10 @@ class Scheduler {
   /// One line per unfinished actor: name, clock, state, and wait sites.
   /// Used by the deadlock abort and by watchdog hang reports.
   std::string describe_blocked_actors() const;
+
+  /// Lane-utilization summary ("lane 0: N events" per lane plus the
+  /// window count) for multi-lane hang reports; "" with a single lane.
+  std::string describe_lanes() const;
 
   std::size_t num_actors() const { return actors_.size(); }
   Actor& actor(std::size_t i) { return *actors_.at(i); }

@@ -7,6 +7,7 @@
 // Exclusive->Shared downgrade the owner performs on behalf of the lock
 // holder while serving its read request.
 #include "svm/protocol/policy.hpp"
+#include "svm/protocol/recovery.hpp"
 
 namespace msvm::svm::proto {
 
@@ -61,6 +62,11 @@ void ReadReplicationPolicy::acquire_read_replica(u64 page, u16 frame,
 
   for (;;) {
     const u16 owner = env.meta().owner(page);
+    if (owner == kOwnerLost) {
+      // Poisoned by fail-stop recovery: typed loss, never silent garbage.
+      env.transfer_unlock(page);
+      throw SvmDataLossError(page, kOwnerLost);
+    }
     if (owner == env.self()) {
       // We own the page after all (a transfer raced ahead of the
       // fault). Shared: our mapping was downgraded — stay read-only so
@@ -115,6 +121,11 @@ void ReadReplicationPolicy::serve_read_request(const Msg& m,
     // A forward raced with an ownership transfer to the requester
     // itself; just confirm so its wait terminates.
     env.send(requester, Msg{MsgType::kReadAck, page, 0});
+    return;
+  }
+  if (owner == kOwnerLost) {
+    // Poisoned page (fail-stop recovery): no ACK — the requester's own
+    // recovery path discovers the loss and throws the typed error.
     return;
   }
   if (owner != env.self()) {

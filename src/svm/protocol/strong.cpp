@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "svm/protocol/policy.hpp"
+#include "svm/protocol/recovery.hpp"
 
 namespace msvm::svm::proto {
 
@@ -71,6 +72,13 @@ void StrongOwnerPolicy::acquire_ownership(u64 page, ProtocolEnv& env) {
       env.warn(msg);
     }
     const u16 owner = env.meta().owner(page);
+    if (owner == kOwnerLost) {
+      // The page was poisoned by fail-stop recovery (its last owner died
+      // with unflushed writes). Never silent garbage: surface the typed
+      // loss to the faulting access.
+      env.transfer_unlock(page);
+      throw SvmDataLossError(page, kOwnerLost);
+    }
     if (owner == env.self()) {
       // Close the window between learning we own the page and mapping
       // it: an incoming request handled in between would unmap it again.
@@ -112,6 +120,11 @@ void StrongOwnerPolicy::serve_ownership_request(const Msg& m,
     if (cfg_.ack_via_mail) {
       env.send(requester, Msg{MsgType::kOwnershipAck, page, 0});
     }
+    return;
+  }
+  if (owner == kOwnerLost) {
+    // Poisoned page (fail-stop recovery): no ACK — the requester's own
+    // recovery path discovers the loss and throws the typed error.
     return;
   }
   if (owner != env.self()) {

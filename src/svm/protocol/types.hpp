@@ -136,6 +136,14 @@ struct SvmStats {
   // Resilience machinery (all zero on a fault-free run).
   u64 retransmits = 0;         // protocol requests re-sent after timeout
   u64 dup_acks_dropped = 0;    // duplicate ACK mails discarded by dedup
+  u64 acks_evicted = 0;        // live keys overwritten in the dedup ring
+  // Fail-stop recovery (all zero unless a core was killed).
+  u64 recoveries = 0;          // recover_page invocations
+  u64 sharers_pruned = 0;      // dead cores removed from sharer sets
+  u64 pages_rehomed = 0;       // dead-owner pages moved to a live sharer
+  u64 pages_refetched = 0;     // dead-owner pages re-homed to the detector
+  u64 pages_lost = 0;          // pages poisoned (owner died dirty)
+  u64 locks_broken = 0;        // TAS locks force-released from the dead
 };
 
 /// Self-description of SvmStats: one entry per field, in declaration
@@ -162,6 +170,13 @@ inline constexpr SvmStatsField kSvmStatsFields[] = {
     {"invalidations_received", &SvmStats::invalidations_received},
     {"retransmits", &SvmStats::retransmits},
     {"dup_acks_dropped", &SvmStats::dup_acks_dropped},
+    {"acks_evicted", &SvmStats::acks_evicted},
+    {"recoveries", &SvmStats::recoveries},
+    {"sharers_pruned", &SvmStats::sharers_pruned},
+    {"pages_rehomed", &SvmStats::pages_rehomed},
+    {"pages_refetched", &SvmStats::pages_refetched},
+    {"pages_lost", &SvmStats::pages_lost},
+    {"locks_broken", &SvmStats::locks_broken},
 };
 
 /// Hardware-counter events the protocol raises; the binding layer maps

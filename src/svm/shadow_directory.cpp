@@ -1,0 +1,143 @@
+#include "svm/shadow_directory.hpp"
+
+#include <string>
+
+#include "svm/protocol/recovery.hpp"
+#include "svm/protocol/types.hpp"
+
+namespace msvm::svm {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+
+std::string page_str(u64 page) { return "page " + std::to_string(page); }
+
+}  // namespace
+
+void ShadowDirectory::record_violation(const Event& e, const char* invariant,
+                                       const std::string& detail) {
+  ++violation_count_;
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back("t=" + std::to_string(e.t_ps) +
+                          "ps core=" + std::to_string(e.core) + " [" +
+                          invariant + "] " + detail);
+  }
+}
+
+void ShadowDirectory::on_event(const Event& e) {
+  ++events_audited_;
+
+  // Dead-core silence. The kill record itself is published by the dying
+  // core at its fail-stop instant, so it is checked-then-inserted here
+  // rather than flagged.
+  if (e.kind == EventKind::kFaultInject &&
+      static_cast<obs::InjectKind>(e.a) == obs::InjectKind::kCoreKill) {
+    dead_.insert(e.core);
+    // A core that died holding OwnedRW never publishes the Invalid
+    // transition; release its shadow writer slot so the page's next
+    // legitimate owner (elected by recovery) is not a false positive.
+    for (auto& [page, shadow] : pages_) {
+      if (shadow.writer == e.core) shadow.writer = -1;
+    }
+    return;
+  }
+  if (e.core >= 0 && dead_.count(e.core) != 0) {
+    record_violation(e, "dead-silence",
+                     std::string(obs::to_string(e.kind)) +
+                         " published after this core's fail-stop");
+    return;
+  }
+
+  switch (e.kind) {
+    case EventKind::kProtoTransition: {
+      if (!cfg_.single_writer) break;
+      const u64 page = e.a;
+      const auto from = static_cast<proto::PageState>(e.b);
+      const auto to = static_cast<proto::PageState>(e.c);
+      PageShadow& shadow = pages_[page];
+      if (from == proto::PageState::kOwnedRW && shadow.writer == e.core) {
+        shadow.writer = -1;
+      }
+      if (to == proto::PageState::kOwnedRW) {
+        if (shadow.writer != -1 && shadow.writer != e.core) {
+          record_violation(
+              e, "writer-exclusivity",
+              page_str(page) + ": entering OwnedRW while core " +
+                  std::to_string(shadow.writer) + " still owns it");
+        }
+        shadow.writer = e.core;
+      } else if (to == proto::PageState::kSharedRO) {
+        // Subset check needs the single-word directory view: owner
+        // exemption covers downgrades and first touches; chips wider
+        // than 64 cores spill the entry across words (cfg_.subset_check
+        // off), so only single-word directories are checked.
+        if (cfg_.subset_check && shadow.dir_known && shadow.owner_known &&
+            e.core >= 0 && e.core < 64) {
+          const bool is_owner =
+              shadow.owner_word == static_cast<u64>(e.core);
+          const bool in_dir = (shadow.dir_word >> e.core) & 1;
+          if (!is_owner && !in_dir) {
+            record_violation(
+                e, "sharer-subset",
+                page_str(page) + ": entering SharedRO while neither owner (" +
+                    std::to_string(shadow.owner_word) +
+                    ") nor in directory word " +
+                    std::to_string(shadow.dir_word));
+          }
+        }
+      }
+      break;
+    }
+
+    case EventKind::kProtoMetaWrite: {
+      const u64 page = e.a;
+      const auto kind = static_cast<proto::MetaKind>(e.b);
+      PageShadow& shadow = pages_[page];
+      if (kind == proto::MetaKind::kOwner) {
+        shadow.owner_word = e.c;
+        shadow.owner_known = true;
+      } else if (kind == proto::MetaKind::kDirectory) {
+        shadow.dir_word = e.c & ~proto::kDirSharedBit;
+        shadow.dir_known = true;
+      }
+      break;
+    }
+
+    case EventKind::kRecoveryBegin: {
+      if (e.a <= last_epoch_) {
+        record_violation(e, "epoch-monotonicity",
+                         "recovery epoch " + std::to_string(e.a) +
+                             " after epoch " + std::to_string(last_epoch_) +
+                             " (" + page_str(e.c) + ")");
+      }
+      last_epoch_ = e.a;
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+std::string ShadowDirectory::report() const {
+  std::string out = "coherence audit: " + std::to_string(events_audited_) +
+                    " events, " + std::to_string(violation_count_) +
+                    " violations";
+  if (violation_count_ == 0) {
+    out += " (clean)\n";
+    return out;
+  }
+  out += "\n";
+  for (const std::string& v : violations_) {
+    out += "  " + v + "\n";
+  }
+  if (violation_count_ > violations_.size()) {
+    out += "  ... " +
+           std::to_string(violation_count_ - violations_.size()) +
+           " more (storage capped)\n";
+  }
+  return out;
+}
+
+}  // namespace msvm::svm

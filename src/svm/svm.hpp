@@ -47,6 +47,7 @@
 #include "mailbox/mailbox.hpp"
 #include "sccsim/chip.hpp"
 #include "svm/protocol/policy.hpp"
+#include "svm/protocol/recovery.hpp"
 
 namespace msvm::svm {
 
@@ -73,6 +74,13 @@ using proto::kDirSharerMask;
 /// Per-core protocol/runtime statistics (defined in the protocol core so
 /// policies can update their slice without seeing runtime headers).
 using SvmStats = proto::SvmStats;
+
+/// Fail-stop recovery vocabulary (defined in the protocol core, see
+/// svm/protocol/recovery.hpp): the typed data-loss error thrown on any
+/// access to a page whose owner died with unflushed writes, and the
+/// owner-word sentinel that marks such a page.
+using proto::kOwnerLost;
+using proto::SvmDataLossError;
 
 /// Thrown (into the faulting simulated program) on a write to a page
 /// protected with protect_readonly() — the debugging aid of Section 6.4.
@@ -252,6 +260,12 @@ class SvmDomain {
   // lock and for which page; written by SvmRuntime::transfer_lock.
   std::vector<int> debug_lock_holder_;
   std::vector<u64> debug_lock_page_;
+
+  // Fail-stop recovery epoch: bumped once per page repaired, host-side.
+  // Each per-page repair runs under that page's transfer lock, so the
+  // sequence is strictly increasing — the coherence auditor asserts
+  // exactly that off the kRecoveryBegin events.
+  u64 recovery_epoch = 0;
 
  private:
   struct AllocRecord {

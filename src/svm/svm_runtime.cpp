@@ -306,19 +306,27 @@ void SvmRuntime::handle_fault(u64 vaddr, bool is_write) {
   }
 
   const scc::Pte* pte = core_.pagetable().find(vaddr);
-  if (pte == nullptr || !pte->present) {
-    mapping_fault(vaddr, page_idx, is_write);
-    return;
-  }
-  // Present but insufficient permission: a strong-model write to a page
-  // currently owned elsewhere would have been unmapped by the transfer
-  // (or, under read replication, to a page this core only holds a
-  // read-only replica of — the write upgrade). The policy re-reads the
-  // frame number under its own serialisation.
-  if (is_write && !pte->writable &&
-      domain_.config().model == Model::kStrong) {
-    policy_->fault(page_idx, /*frame=*/0, /*is_write=*/true, *this);
-    return;
+  try {
+    if (pte == nullptr || !pte->present) {
+      mapping_fault(vaddr, page_idx, is_write);
+      return;
+    }
+    // Present but insufficient permission: a strong-model write to a page
+    // currently owned elsewhere would have been unmapped by the transfer
+    // (or, under read replication, to a page this core only holds a
+    // read-only replica of — the write upgrade). The policy re-reads the
+    // frame number under its own serialisation.
+    if (is_write && !pte->writable &&
+        domain_.config().model == Model::kStrong) {
+      policy_->fault(page_idx, /*frame=*/0, /*is_write=*/true, *this);
+      return;
+    }
+  } catch (const proto::SvmDataLossError&) {
+    // The typed loss unwinds through protocol flows that are not
+    // exception-aware; a transfer lock still held here would wedge every
+    // other core contending for its stripe.
+    release_held_transfer_locks();
+    throw;
   }
   panic("unresolvable SVM fault");
 }
@@ -334,7 +342,13 @@ void SvmRuntime::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
   lock_opts.site = "svm.scratchpad_lock";
   lock_opts.site_arg = page_idx;
   kernel::spin_wait(
-      core_, [&] { return core_.tas_try_acquire(lock_reg); }, lock_opts);
+      core_,
+      [&] {
+        if (core_.tas_try_acquire(lock_reg)) return true;
+        maybe_break_dead_lock(lock_reg);
+        return false;
+      },
+      lock_opts);
   u16 entry = meta_word_.scratchpad(page_idx);
 
   if ((entry & kFrameMask) == 0) {
@@ -530,7 +544,7 @@ void SvmRuntime::send(int dest, const proto::Msg& m) {
   if (is_request_type(mail.type) && m.requester == self()) {
     // A fresh request this core originates: stamp a new sequence number
     // and remember it for bounded-wait retransmission.
-    mail.arg16 = ++seq_next_;
+    mail.arg16 = ack_ring_.next_seq();
     proto::SharerSet awaiting(dir_width_);
     awaiting.set(dest);
     pending_ = PendingRequest{mail, awaiting, m.page, mail.arg16,
@@ -551,7 +565,7 @@ int SvmRuntime::multicast(const proto::SharerSet& dests,
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
   mail.p1 = static_cast<u64>(m.requester);
-  mail.arg16 = ++seq_next_;
+  mail.arg16 = ack_ring_.next_seq();
   proto::SharerSet awaiting = dests;
   awaiting.clear(self());
   std::vector<int> list;
@@ -590,9 +604,8 @@ void SvmRuntime::retransmit_pending() {
 }
 
 void SvmRuntime::on_ack_mail(const mbox::Mail& mail) {
-  const u64 key = ack_key(mail);
-  for (const u64 seen : ack_seen_) {
-    if (seen == key) {
+  switch (ack_ring_.admit(ack_key(mail))) {
+    case AckRing::Admit::kDuplicate:
       ++stats_.dup_acks_dropped;
       MSVM_LOG_INFO("core %d: dropped duplicate ack type=0x%x page=%llu "
                     "seq=%u from %d",
@@ -600,9 +613,12 @@ void SvmRuntime::on_ack_mail(const mbox::Mail& mail) {
                     static_cast<unsigned long long>(mail.p0), mail.arg16,
                     mail.sender);
       return;
-    }
+    case AckRing::Admit::kFreshEvicting:
+      ++stats_.acks_evicted;  // ring capacity hit
+      break;
+    case AckRing::Admit::kFresh:
+      break;
   }
-  ack_seen_[ack_seen_next_++ % ack_seen_.size()] = key;
   mbox_.enqueue_inbox(mail);
 }
 
@@ -643,6 +659,18 @@ proto::Msg SvmRuntime::wait_match(proto::MsgType type, u64 page) {
       if (core_.chip().watchdog().check(core_.now(), t0, "svm.wait_match",
                                         core_.id())) {
         core_.chip().scheduler().block();  // parked until teardown
+      }
+      // Failure detection: an ACK that will never come because the peer
+      // fail-stopped. Repair the page (we hold its transfer lock) and
+      // satisfy the wait with a synthesized ACK — the acquire loops all
+      // re-verify owner/directory state after wait_match returns, so a
+      // synthesized ACK is no stronger a claim than a real one.
+      if (core_.chip().dead_count() > 0 && core_.chip().lease_enabled()) {
+        const std::optional<mbox::Mail> synth = try_dead_peer_recovery();
+        if (synth) {
+          mail = *synth;
+          break;
+        }
       }
       retransmit_pending();
       timeout = std::min<TimePs>(timeout * 2, cap);
@@ -709,7 +737,12 @@ void SvmRuntime::transfer_lock(u64 page) {
         ps_to_ms(core_.now()));
   };
   opts.on_stuck = on_stuck;
-  kernel::spin_wait(core_, [&] { return core_.tas_try_acquire(treg); },
+  kernel::spin_wait(core_,
+                    [&] {
+                      if (core_.tas_try_acquire(treg)) return true;
+                      maybe_break_dead_lock(treg);
+                      return false;
+                    },
                     opts);
   domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = core_.id();
   domain_.debug_lock_page_[static_cast<std::size_t>(treg)] = page;
@@ -719,6 +752,124 @@ void SvmRuntime::transfer_unlock(u64 page) {
   const int treg = domain_.transfer_lock_reg(page);
   domain_.debug_lock_holder_[static_cast<std::size_t>(treg)] = -1;
   core_.tas_release(treg);
+}
+
+// ---------------------------------------------------------------------------
+// fail-stop recovery (repair rules in svm/protocol/recovery.hpp)
+
+bool SvmRuntime::dead_owner_died_dirty(u64 page) {
+  scc::Chip& chip = core_.chip();
+  const u16 owner = meta_word_.owner(page);
+  if (owner >= static_cast<u16>(chip.config().num_cores)) return false;
+  if (!chip.core_dead(owner) || !chip.dead_wcb_valid(owner)) return false;
+  // The write-through L1 publishes every store except the single-line
+  // WCB, so the only possible unflushed data is the line the owner's WCB
+  // held at death — the page is dirty iff that line is in its frame.
+  const u64 base = domain_.frame_paddr(meta_word_.frame_of(page));
+  const u64 line = chip.dead_wcb_line(owner);
+  return line >= base && line < base + chip.config().page_bytes;
+}
+
+proto::RecoveryAction SvmRuntime::run_page_recovery(u64 page,
+                                                    int dead_core) {
+  scc::Chip& chip = core_.chip();
+  // Ground truth for *who* is dead comes from the chip; the lease only
+  // gated *when* the survivors were allowed to act on it.
+  proto::SharerSet dead(dir_width_);
+  for (int i = 0; i < chip.config().num_cores; ++i) {
+    if (chip.core_dead(i)) dead.set(i);
+  }
+  const bool dirty = dead_owner_died_dirty(page);
+  const u64 epoch = ++domain_.recovery_epoch;
+  obs::EventBus& bus = chip.bus();
+  bus.publish(obs::Event{core_.now(), epoch, dead.word(0), page,
+                         obs::EventKind::kRecoveryBegin, core_.id()});
+  const proto::RecoveryAction action = proto::recover_page(
+      *this, page, dead, dirty, domain_.config().read_replication);
+  bus.publish(obs::Event{core_.now(), epoch, static_cast<u64>(action),
+                         page, obs::EventKind::kRecoveryEnd, core_.id()});
+  MSVM_LOG_INFO(
+      "core %d: recovered page %llu after death of core %d: %s "
+      "(epoch %llu) t=%.3fms",
+      core_.id(), static_cast<unsigned long long>(page), dead_core,
+      proto::to_string(action), static_cast<unsigned long long>(epoch),
+      ps_to_ms(core_.now()));
+  return action;
+}
+
+std::optional<mbox::Mail> SvmRuntime::try_dead_peer_recovery() {
+  scc::Chip& chip = core_.chip();
+  const TimePs now = core_.now();
+  const u64 page = pending_->page;
+  int dead = -1;
+  pending_->awaiting.for_each([&](int p) {
+    if (dead < 0 && chip.core_dead(p) && chip.peer_presumed_dead(p, now)) {
+      dead = p;
+    }
+  });
+  if (dead < 0) {
+    // The peer we mailed is alive, but it may have forwarded our request
+    // along an ownership chain whose recorded tail died.
+    const u16 owner = meta_word_.owner(page);
+    if (owner == kOwnerLost) {
+      // Someone else already repaired this page and declared it lost.
+      pending_.reset();
+      throw SvmDataLossError(page, kOwnerLost);
+    }
+    if (owner < static_cast<u16>(chip.config().num_cores) &&
+        chip.core_dead(owner) && chip.peer_presumed_dead(owner, now)) {
+      dead = static_cast<int>(owner);
+    }
+    if (dead < 0) return std::nullopt;
+  }
+  if (run_page_recovery(page, dead) == proto::RecoveryAction::kLost) {
+    pending_.reset();
+    throw SvmDataLossError(page, dead);
+  }
+  // Synthesize the dead peer's ACK. wait_match's caller re-verifies the
+  // repaired metadata, exactly as it would after a real ACK, and the
+  // multicast retire logic in wait_match sees `sender` = the dead core.
+  mbox::Mail synth = pending_->mail;
+  synth.type = pending_->ack_type;
+  synth.arg16 = pending_->seq;
+  synth.p0 = page;
+  synth.p1 = 0;
+  synth.sender = dead;
+  return synth;
+}
+
+void SvmRuntime::maybe_break_dead_lock(int reg) {
+  scc::Chip& chip = core_.chip();
+  if (chip.dead_count() == 0 || !chip.lease_enabled()) return;
+  const int holder = chip.tas_owner(reg);
+  if (holder < 0 || !chip.core_dead(holder) ||
+      !chip.peer_presumed_dead(holder, core_.now())) {
+    return;
+  }
+  // The holder fail-stopped inside its critical section: force the
+  // register open. Several survivors may race here — the release is
+  // idempotent and the next tas_try_acquire picks a single winner.
+  MSVM_LOG_INFO("core %d: breaking TAS lock %d held by dead core %d "
+                "t=%.3fms",
+                core_.id(), reg, holder, ps_to_ms(core_.now()));
+  chip.clear_tas_owner(reg);
+  chip.memory().tas_write_release(reg);
+  const auto r = static_cast<std::size_t>(reg);
+  if (r < domain_.debug_lock_holder_.size() &&
+      domain_.debug_lock_holder_[r] == holder) {
+    domain_.debug_lock_holder_[r] = -1;
+  }
+  ++stats_.locks_broken;
+  core_.compute_cycles(200);  // modelled detection/repair cost
+}
+
+void SvmRuntime::release_held_transfer_locks() {
+  for (std::size_t r = 0; r < domain_.debug_lock_holder_.size(); ++r) {
+    if (domain_.debug_lock_holder_[r] == core_.id()) {
+      domain_.debug_lock_holder_[r] = -1;
+      core_.tas_release(static_cast<int>(r));
+    }
+  }
 }
 
 void SvmRuntime::irq_off() { core_.irq_disable(); }

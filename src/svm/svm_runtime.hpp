@@ -15,9 +15,9 @@
 // The Svm endpoint (svm.hpp) keeps only collectives, barriers and locks.
 #pragma once
 
-#include <array>
 #include <optional>
 
+#include "svm/ack_ring.hpp"
 #include "svm/svm.hpp"
 
 namespace msvm::svm {
@@ -130,6 +130,33 @@ class SvmRuntime final : public proto::ProtocolEnv,
   /// unrelated traffic.
   void retransmit_pending();
 
+  // ---- fail-stop recovery (the robustness PR; see protocol/recovery.hpp)
+
+  /// Called from the bounded wait's timeout path: if a peer still owing
+  /// an ACK — or the recorded owner of the awaited page — is dead past
+  /// its lease, repairs the page under the transfer lock we already hold
+  /// and returns the dead peer's ACK, synthesized. Returns nullopt when
+  /// no relevant core is dead; throws SvmDataLossError when the repair
+  /// (or an earlier one) poisoned the page.
+  std::optional<mbox::Mail> try_dead_peer_recovery();
+
+  /// Binding wrapper around proto::recover_page: computes the dead set
+  /// and the dead owner's dirty-WCB verdict from the chip, fences the
+  /// domain's recovery epoch, and publishes kRecoveryBegin/End.
+  proto::RecoveryAction run_page_recovery(u64 page, int dead_core);
+
+  /// True when `page`'s recorded owner is dead and its write-combine
+  /// buffer died holding a line inside this page's frame.
+  bool dead_owner_died_dirty(u64 page);
+
+  /// Spin-site breaker: when the TAS register's holder fail-stopped,
+  /// force the register open so the spinning survivors can proceed.
+  void maybe_break_dead_lock(int reg);
+
+  /// Releases any transfer locks this core still holds (data-loss throw
+  /// unwinding out of a protocol flow that is not exception-aware).
+  void release_held_transfer_locks();
+
   /// Mapping fault: first touch, migration, or plain (re)mapping; the
   /// model-dependent tail is delegated to the policy.
   void mapping_fault(u64 vaddr, u64 page_idx, bool is_write);
@@ -176,13 +203,14 @@ class SvmRuntime final : public proto::ProtocolEnv,
 
   // ---- protocol-mail resilience (all host-side bookkeeping) ----
 
-  u16 seq_next_ = 0;     // last sequence number stamped on a fresh request
   u16 serving_seq_ = 0;  // seq of the request currently being served;
                          // forwards and ACKs echo it so the chain keeps
                          // the originator's sequence number end to end
   std::optional<PendingRequest> pending_;
-  std::array<u64, 64> ack_seen_{};  // recent-ACK keys for the dedup ring
-  std::size_t ack_seen_next_ = 0;
+  /// Request sequence counter + bounded recent-ACK dedup ring (wrap and
+  /// eviction semantics live in svm/ack_ring.hpp, where they are unit-
+  /// tested directly).
+  AckRing ack_ring_;
 };
 
 }  // namespace msvm::svm

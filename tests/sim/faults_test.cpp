@@ -62,6 +62,76 @@ TEST(FaultPlanParse, MalformedSpecsThrowTypedErrors) {
   EXPECT_THROW(FaultPlan::parse("stall=0.5:0ms"), FaultSpecError);
 }
 
+TEST(FaultPlanParse, KillAndLeaseClausesRoundTrip) {
+  const FaultPlan p = FaultPlan::parse(
+      "kill=3@10ms,kill=17@1234567ns,lease=2ms,watchdog=500ms");
+  ASSERT_EQ(p.kills.size(), 2u);
+  EXPECT_EQ(p.kills[0].core, 3);
+  EXPECT_EQ(p.kills[0].at_ps, 10 * kPsPerMs);
+  EXPECT_EQ(p.kills[1].core, 17);
+  EXPECT_EQ(p.kills[1].at_ps, 1234567 * kPsPerNs);
+  EXPECT_EQ(p.lease_ps, 2 * kPsPerMs);
+  EXPECT_TRUE(p.any_faults());  // scheduled kills are faults
+
+  const FaultPlan q = FaultPlan::parse(p.to_spec());
+  EXPECT_EQ(q.to_spec(), p.to_spec());
+  EXPECT_EQ(q.kills, p.kills);
+  EXPECT_EQ(q.lease_ps, p.lease_ps);
+}
+
+TEST(FaultPlanParse, LeaseAloneIsNotAFault) {
+  const FaultPlan p = FaultPlan::parse("lease=1ms");
+  EXPECT_FALSE(p.any_faults());  // detection is a recovery knob
+}
+
+// Table-driven rejection: every malformed spec must throw a typed
+// FaultSpecError whose message names the offending token — never parse
+// to a silently-wrong plan.
+TEST(FaultPlanParse, MalformedSpecsRejectedWithOffendingToken) {
+  struct BadSpec {
+    const char* spec;
+    const char* why;
+    const char* in_msg;  // substring the error message must carry
+  };
+  static constexpr BadSpec kBad[] = {
+      {"bogus_key=1", "unknown key", "bogus_key"},
+      {"=1ms", "empty key", "unknown key"},
+      {"kill", "key without value", "key=value"},
+      {"kill=3", "kill missing @TIME", "CORE@TIME"},
+      {"kill=@5ms", "kill missing core", "kill=@5ms"},
+      {"kill=x@5ms", "kill non-numeric core", "kill=x@5ms"},
+      {"kill=-1@5ms", "kill negative core", "kill=-1@5ms"},
+      {"kill=3@", "kill empty time", "kill=3@"},
+      {"kill=3@5", "kill time without unit", "suffix"},
+      {"kill=3@0ms", "kill time must be positive", "positive"},
+      {"kill=3@5parsecs", "kill bogus unit", "suffix"},
+      {"kill=200000@5ms", "implausible core id", "implausible"},
+      {"kill=3@999999999s", "kill time past the virtual clock", "too large"},
+      {"lease=", "lease empty duration", "lease="},
+      {"lease=5", "lease without unit", "suffix"},
+      {"lease=abcms", "lease non-numeric", "lease=abcms"},
+      {"lease=0x10ms", "lease hex spelling", "lease=0x10ms"},
+      {"lease=-2ms", "lease negative", "lease=-2ms"},
+      {"seed=", "seed empty", "seed="},
+      {"seed=12x", "seed trailing garbage", "seed=12x"},
+      {"sweep=-1", "sweep negative", "sweep=-1"},
+      {"watchdog=nan", "watchdog NaN", "watchdog=nan"},
+      {"kill=3@1ms,lease=oops", "second token malformed", "lease=oops"},
+  };
+  for (const BadSpec& b : kBad) {
+    try {
+      FaultPlan::parse(b.spec);
+      FAIL() << "expected FaultSpecError for '" << b.spec << "' (" << b.why
+             << ")";
+    } catch (const FaultSpecError& e) {
+      // The message must point at the offending token so a user can find
+      // the typo in a long spec string.
+      EXPECT_NE(std::string(e.what()).find(b.in_msg), std::string::npos)
+          << "spec '" << b.spec << "' (" << b.why << "): " << e.what();
+    }
+  }
+}
+
 TEST(FaultPlanParse, RecoveryKnobsAloneAreNotFaults) {
   const FaultPlan p = FaultPlan::parse("watchdog=100ms,sweep=2,retry=1ms");
   EXPECT_FALSE(p.any_faults());

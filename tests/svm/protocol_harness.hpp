@@ -151,6 +151,9 @@ class Harness final : public proto::MetaStore {
   // ---- inspection ----------------------------------------------------
 
   proto::CoherencePolicy& policy(int id) { return *core(id).policy; }
+  /// The core's ProtocolEnv view — recovery tests call recover_page
+  /// against it directly, outside any policy flow.
+  proto::ProtocolEnv& env(int id) { return *core(id).env; }
   proto::SvmStats& stats(int id) { return core(id).stats; }
   TraceLog& trace(int id) { return core(id).trace; }
   PageState state_of(int id, u64 page) const {
