@@ -37,6 +37,8 @@ MetricsRegistry::HistSummary MetricsRegistry::summarize(
   s.mean = sum / static_cast<double>(v.size());
   s.p50 = percentile(v, 0.50);
   s.p95 = percentile(v, 0.95);
+  s.p99 = percentile(v, 0.99);
+  s.p999 = percentile(v, 0.999);
   return s;
 }
 
@@ -51,13 +53,15 @@ std::string MetricsRegistry::to_json(const std::string& indent) const {
   for (const auto& [name, samples] : histograms_) {
     (void)samples;
     const HistSummary s = summarize(name);
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "{\"count\": %zu, \"min\": %s, \"max\": %s, "
-                  "\"mean\": %s, \"p50\": %s, \"p95\": %s}",
+                  "\"mean\": %s, \"p50\": %s, \"p95\": %s, "
+                  "\"p99\": %s, \"p999\": %s}",
                   s.count, fmt_double(s.min).c_str(),
                   fmt_double(s.max).c_str(), fmt_double(s.mean).c_str(),
-                  fmt_double(s.p50).c_str(), fmt_double(s.p95).c_str());
+                  fmt_double(s.p50).c_str(), fmt_double(s.p95).c_str(),
+                  fmt_double(s.p99).c_str(), fmt_double(s.p999).c_str());
     out += first ? "\n" : ",\n";
     out += indent + "\"" + name + "\": " + buf;
     first = false;

@@ -52,6 +52,8 @@ class MetricsRegistry {
     double mean = 0;
     double p50 = 0;
     double p95 = 0;
+    double p99 = 0;
+    double p999 = 0;
   };
   HistSummary summarize(const std::string& name) const;
   const std::map<std::string, std::vector<double>>& histograms() const {

@@ -1,0 +1,143 @@
+// Open-loop synthetic request generator for the serving tier.
+//
+// Open loop means arrivals are scheduled by the *workload*, not by the
+// system's completion rate: every request has an intended arrival time
+// drawn from a Poisson process (exponential inter-arrivals), and latency
+// is measured from that intended arrival to completion. A client that
+// falls behind accumulates queueing delay into the measurement instead
+// of silently slowing the arrival clock — the coordinated-omission
+// mistake closed-loop harnesses make at saturation.
+//
+// The base rate is modulated by a cyclic phase schedule (rate
+// multipliers over fixed-length phases), which models diurnal swings
+// and bursts: {1.0} is a flat day, {0.5, 1.0, 2.5, 1.0} is a quiet
+// night, a morning ramp, a lunch spike, and an afternoon plateau.
+//
+// Everything is a pure function of (seed, rank, draw index): two runs
+// with the same seed produce byte-identical request streams.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "serve/zipf.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::serve {
+
+enum class KvOp : u8 { kGet = 0, kPut = 1, kScan = 2 };
+
+/// One scheduled request: what to do and when it was *meant* to start.
+struct Request {
+  TimePs arrival = 0;  // intended arrival, relative to the stream start
+  KvOp op = KvOp::kGet;
+  u64 key = 0;
+  u16 scan_len = 0;  // kScan only
+};
+
+struct GenConfig {
+  u64 num_keys = 4096;
+  double zipf_theta = 0.99;  // YCSB-style key skew; 0 = uniform
+  double read_fraction = 0.95;  // P(GET)
+  double scan_fraction = 0.0;   // P(SCAN); P(PUT) = 1 - read - scan
+  u16 scan_len = 8;
+  /// Mean offered rate per generator at multiplier 1.0, in requests per
+  /// virtual second.
+  double rate_rps = 50'000.0;
+  /// Cyclic rate multipliers; phase i covers
+  /// [i*phase_ps, (i+1)*phase_ps) mod (n*phase_ps).
+  std::vector<double> phase_mults = {1.0};
+  TimePs phase_ps = 1 * kPsPerMs;
+  /// Arrivals are generated in [0, load_ps).
+  TimePs load_ps = 2 * kPsPerMs;
+};
+
+class OpenLoopGen {
+ public:
+  /// `zipf` is shared (the table is identical for every rank); the
+  /// per-rank Rng stream is split from (seed, rank).
+  OpenLoopGen(const GenConfig& cfg, const ZipfSampler& zipf, u64 seed,
+              int rank)
+      : cfg_(cfg),
+        zipf_(zipf),
+        rng_(seed ^ (0x517cc1b727220a95ull * static_cast<u64>(rank + 1))) {
+    advance();
+  }
+
+  /// True while the stream has a request at or before the load horizon.
+  bool has_next() const { return !done_; }
+
+  /// Intended arrival of the next request (valid while has_next()).
+  TimePs next_arrival() const { return next_.arrival; }
+
+  /// Consumes and returns the next request.
+  Request take() {
+    const Request r = next_;
+    advance();
+    return r;
+  }
+
+  /// The phase-schedule rate multiplier in effect at stream time `t`.
+  double rate_mult_at(TimePs t) const {
+    if (cfg_.phase_mults.empty()) return 1.0;
+    const auto n = static_cast<u64>(cfg_.phase_mults.size());
+    const u64 phase = (static_cast<u64>(t) / cfg_.phase_ps) % n;
+    return cfg_.phase_mults[static_cast<std::size_t>(phase)];
+  }
+
+  /// The fixed rank->key permutation-ish scatter (splitmix finalizer);
+  /// deterministic, shared by every generator.
+  static u64 scramble(u64 x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  void advance() {
+    // Exponential inter-arrival at the phase-local rate. Sampling the
+    // multiplier at the previous arrival is the standard thinning-free
+    // approximation; phases are long relative to inter-arrival gaps.
+    const double mult = rate_mult_at(clock_);
+    const double rate = cfg_.rate_rps * mult;
+    if (rate <= 0) {
+      done_ = true;
+      return;
+    }
+    const double u = rng_.next_double();
+    const double gap_s = -std::log1p(-u) / rate;
+    clock_ += static_cast<TimePs>(gap_s * static_cast<double>(kPsPerSec));
+    if (clock_ >= cfg_.load_ps) {
+      done_ = true;
+      return;
+    }
+    next_.arrival = clock_;
+    // Scramble the popularity rank into the key space (YCSB-style):
+    // without this the hottest ranks are keys 0, 1, 2, ... which all
+    // land in the lowest shards and overload their homes; scrambled,
+    // the hot set scatters uniformly across shards.
+    next_.key = scramble(zipf_.sample(rng_)) % cfg_.num_keys;
+    const double op = rng_.next_double();
+    if (op < cfg_.read_fraction) {
+      next_.op = KvOp::kGet;
+      next_.scan_len = 0;
+    } else if (op < cfg_.read_fraction + cfg_.scan_fraction) {
+      next_.op = KvOp::kScan;
+      next_.scan_len = cfg_.scan_len;
+    } else {
+      next_.op = KvOp::kPut;
+      next_.scan_len = 0;
+    }
+  }
+
+  GenConfig cfg_;
+  const ZipfSampler& zipf_;
+  sim::Rng rng_;
+  TimePs clock_ = 0;
+  Request next_;
+  bool done_ = false;
+};
+
+}  // namespace msvm::serve

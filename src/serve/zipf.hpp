@@ -1,0 +1,49 @@
+// Zipfian key-popularity sampler for the serving tier's synthetic load.
+//
+// Production key-value traffic is heavily skewed — a small set of hot
+// keys absorbs most requests (the YCSB default models this with a
+// Zipf(0.99) distribution). The sampler precomputes the cumulative
+// weight table once (host-side, O(n)) and draws by binary search on a
+// uniform deviate from the run's deterministic Rng, so the sequence of
+// keys is a pure function of (seed, draw index) on every platform.
+//
+// theta = 0 degrades to the uniform distribution; larger theta skews
+// harder. Keyspace sizes stay modest (thousands to tens of thousands),
+// so the table is small and exact rather than approximated.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace msvm::serve {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 num_keys, double theta) : cdf_(num_keys) {
+    double sum = 0;
+    for (u64 i = 0; i < num_keys; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  u64 num_keys() const { return cdf_.size(); }
+
+  /// Draws one key in [0, num_keys). Key 0 is the hottest.
+  u64 sample(sim::Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<u64>(it - cdf_.begin());
+    return std::min(idx, cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(key <= i)
+};
+
+}  // namespace msvm::serve

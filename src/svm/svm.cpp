@@ -289,6 +289,13 @@ void Svm::lock_acquire(int lock_id) {
   kernel::SpinWaitOpts opts;
   opts.site = "svm.lock_acquire";
   opts.site_arg = static_cast<u64>(lock_id);
+  // A holder that fail-stops leaves the TAS register set forever; after a
+  // stretch of failed tries, check for that and break the orphaned lock
+  // (no-op unless lease detection is on and a core is actually dead, so
+  // clean runs stay bit-identical).
+  auto break_dead = [&](u64) { runtime_->maybe_break_dead_lock(reg); };
+  opts.warn_every = 64;
+  opts.on_stuck = break_dead;
   kernel::spin_wait(core_, [&] { return core_.tas_try_acquire(reg); },
                     opts);
   obs::EventBus& bus = core_.chip().bus();

@@ -103,6 +103,13 @@ class SvmRuntime final : public proto::ProtocolEnv,
   proto::DirEntry load_dir(u64 page) override;
   void store_dir(u64 page, const proto::DirEntry& e) override;
 
+  /// Spin-site breaker: when the TAS register's holder fail-stopped,
+  /// force the register open so the spinning survivors can proceed.
+  /// Public because Svm::lock_acquire's stuck path calls it too — an
+  /// app lock orphaned by a dead holder must break exactly like a
+  /// protocol transfer lock.
+  void maybe_break_dead_lock(int reg);
+
  private:
   /// Converts an incoming protocol mail and hands it to the policy.
   void dispatch_mail(const mbox::Mail& mail);
@@ -148,10 +155,6 @@ class SvmRuntime final : public proto::ProtocolEnv,
   /// True when `page`'s recorded owner is dead and its write-combine
   /// buffer died holding a line inside this page's frame.
   bool dead_owner_died_dirty(u64 page);
-
-  /// Spin-site breaker: when the TAS register's holder fail-stopped,
-  /// force the register open so the spinning survivors can proceed.
-  void maybe_break_dead_lock(int reg);
 
   /// Releases any transfer locks this core still holds (data-loss throw
   /// unwinding out of a protocol flow that is not exception-aware).

@@ -119,8 +119,18 @@ for base in "$BASE_DIR"/BENCH_*.json; do
   *)
     # Virtual-time mode. Series lines look like:
     #   "strong_ms": {"count": 9, "median": 4.70232, "p95": 4.93}
+    # Most series are times (lower is better); series named like
+    # throughputs or success counts (_rps, _per_ms, _verified, correct,
+    # completed) gate in the other direction — a DROP beyond the margin
+    # fails. Both directions share TOLERANCE: deterministic runs
+    # reproduce the baselines exactly, so the margin only gives an
+    # intentional remodelling one documented way to move the numbers.
     # First pass (FNR==NR) collects baseline medians, second compares.
     if ! awk -v tol="$TOLERANCE" -v file="$name" '
+      function higher_is_better(s) {
+        return s ~ /_rps$/ || s ~ /_per_ms$/ || s ~ /_verified$/ ||
+               s ~ /(^|_)correct$/ || s ~ /(^|_)completed$/
+      }
       /"median":/ {
         if (match($0, /"[A-Za-z0-9_.]+": *\{"count"/)) {
           series = substr($0, RSTART + 1)
@@ -134,8 +144,9 @@ for base in "$BASE_DIR"/BENCH_*.json; do
               seen[series] = 1
               b = base[series]
               c = med + 0
-              if (b > 0 && c > b * tol) {
-                printf "perf-gate: FAIL %s %s: median %g -> %g (+%.1f%%)\n",
+              if (higher_is_better(series) ? (b > 0 && c * tol < b) \
+                                           : (b > 0 && c > b * tol)) {
+                printf "perf-gate: FAIL %s %s: median %g -> %g (%+.1f%%)\n",
                        file, series, b, c, (c / b - 1) * 100
                 bad = 1
               } else {
