@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sccsim/addrmap.hpp"
+#include "sim/crc32c.hpp"
 #include "sim/log.hpp"
 
 namespace msvm::mbox {
@@ -17,6 +18,13 @@ constexpr u32 kArgOff = 2;
 constexpr u32 kP0Off = 4;
 constexpr u32 kP1Off = 12;
 constexpr u32 kP2Off = 20;
+// Bytes 28..31 were unused padding; the integrity layer stores a CRC32C
+// of bytes [1, 28) there when armed. The flag byte stays outside the
+// checksum: it is flow control, and a flipped flag manifests as a lost
+// or spurious delivery, both already covered by the retransmit layer.
+constexpr u32 kCrcOff = 28;
+constexpr u32 kCrcSpanOff = kTypeOff;
+constexpr u32 kCrcSpanBytes = kCrcOff - kCrcSpanOff;
 
 // Modelled software cost of checking one receive buffer: "Currently, the
 // mailbox system requires 100 processor cycles to check one receive
@@ -27,6 +35,11 @@ constexpr u64 kSlotCheckCycles = 100;
 // Software cost of composing/consuming a mail (copies, bookkeeping).
 constexpr u64 kMailSoftwareCycles = 60;
 
+// Modelled cost of checksumming one 27-byte mail span (table-driven
+// software CRC32C, ~1 cycle/byte plus setup). Charged only when the
+// integrity layer is armed, so flags-off runs stay cycle-identical.
+constexpr u64 kMailCrcCycles = 40;
+
 }  // namespace
 
 MailboxSystem::MailboxSystem(kernel::Kernel& kernel,
@@ -36,6 +49,7 @@ MailboxSystem::MailboxSystem(kernel::Kernel& kernel,
       use_ipi_(cfg.use_ipi),
       cfg_(cfg),
       handlers_(256),
+      integrity_(kernel.core().chip().faults().plan().integrity_armed()),
       sweep_countdown_(cfg.sweep_period) {
   const int n = core_.chip().num_cores();
   participants_.reserve(static_cast<std::size_t>(n));
@@ -107,6 +121,12 @@ void MailboxSystem::deposit(u64 slot, const Mail& mail, int dest) {
   std::memcpy(line + kP0Off, &mail.p0, sizeof(mail.p0));
   std::memcpy(line + kP1Off, &mail.p1, sizeof(mail.p1));
   std::memcpy(line + kP2Off, &mail.p2, sizeof(mail.p2));
+  if (integrity_) {
+    // Seal the payload span; the receiver verifies before dispatching.
+    const u32 crc = sim::crc32c(line + kCrcSpanOff, kCrcSpanBytes);
+    std::memcpy(line + kCrcOff, &crc, sizeof(crc));
+    core_.compute_cycles(kMailCrcCycles);
+  }
   core_.pwrite(slot + 1, line + 1, kMailBytes - 1,
                scc::MemPolicy::kUncached);
   core_.pstore<u8>(slot + kFlagOff, 1, scc::MemPolicy::kUncached);
@@ -286,6 +306,49 @@ bool MailboxSystem::check_slot(int sender) {
   Mail mail;
   u8 line[kMailBytes];
   core_.pread(slot, line, kMailBytes, scc::MemPolicy::kUncached);
+  if (core_.chip().faults().enabled()) {
+    // Injected MPB corruption: one bit of the line as read — payload or
+    // CRC, never the flag byte (a flipped flag is a lost/spurious
+    // delivery, the omission fault domain).
+    const int bit = core_.chip().faults().mail_flip_bit(
+        core_.id(), (kMailBytes - 1) * 8);
+    if (bit >= 0) {
+      line[1 + static_cast<u32>(bit) / 8] ^=
+          static_cast<u8>(1u << (static_cast<u32>(bit) % 8));
+      obs::EventBus& cbus = core_.chip().bus();
+      if (cbus.enabled(obs::kCatChaos)) {
+        cbus.publish(obs::Event{
+            core_.now(), static_cast<u64>(obs::InjectKind::kMailFlip),
+            static_cast<u64>(bit), 0, obs::EventKind::kFaultInject,
+            core_.id()});
+      }
+    }
+  }
+  if (integrity_) {
+    core_.compute_cycles(kMailCrcCycles);
+    u32 stored = 0;
+    std::memcpy(&stored, line + kCrcOff, sizeof(stored));
+    const u32 computed = sim::crc32c(line + kCrcSpanOff, kCrcSpanBytes);
+    if (stored != computed) {
+      // Corrupt mail: consume the slot — the sender must not stay
+      // blocked on it — but never dispatch. Requests and ACKs are both
+      // recovered by the seq/retransmit layer above; counting the drop
+      // is what lets the campaign ledger reconcile every injected flip.
+      core_.pstore<u8>(slot + kFlagOff, 0, scc::MemPolicy::kUncached);
+      core_.irq_enable();
+      ++stats_.corrupt_drops;
+      MSVM_LOG_INFO("core %d: dropped corrupt mail from %d (crc %08x != %08x)",
+                    core_.id(), sender, stored, computed);
+      obs::EventBus& cbus = core_.chip().bus();
+      if (cbus.enabled(obs::kCatIntegrity)) {
+        cbus.publish(obs::Event{core_.now(), static_cast<u64>(sender),
+                                obs::pack_mail(line[kTypeOff], 0, 0),
+                                computed, obs::EventKind::kMailCorruptDrop,
+                                core_.id()});
+      }
+      return true;
+    }
+  }
   mail.type = line[kTypeOff];
   std::memcpy(&mail.arg16, line + kArgOff, sizeof(mail.arg16));
   std::memcpy(&mail.p0, line + kP0Off, sizeof(mail.p0));

@@ -58,6 +58,7 @@ struct MailboxStats {
   u64 degradations = 0;     // 1 once the mailbox fell back to poll mode
   u64 dispatches_deferred = 0;  // handler runs queued past the depth cap
   u64 dead_drops = 0;       // sends dropped: destination presumed dead
+  u64 corrupt_drops = 0;    // deliveries dropped on a CRC mismatch
 };
 
 /// Self-description of MailboxStats, in declaration order, for
@@ -81,6 +82,7 @@ inline constexpr MailboxStatsField kMailboxStatsFields[] = {
     {"degradations", &MailboxStats::degradations},
     {"dispatches_deferred", &MailboxStats::dispatches_deferred},
     {"dead_drops", &MailboxStats::dead_drops},
+    {"corrupt_drops", &MailboxStats::corrupt_drops},
 };
 
 /// Delivery-mode + resilience knobs for one MailboxSystem. The sweep
@@ -223,6 +225,10 @@ class MailboxSystem {
   /// by the outermost dispatch (see MailboxSystem::dispatch).
   MailRing<Mail> deferred_;
   MailboxStats stats_;
+  /// True when the fault plan arms the integrity layer: mails are sealed
+  /// with a CRC32C on deposit and verified (drop on mismatch) on
+  /// delivery. Latched at construction — the plan is fixed per chip.
+  bool integrity_ = false;
   static constexpr int kMaxDispatchDepth = 16;
   int dispatch_depth_ = 0;
   u32 poll_jitter_ = 0x12345u;

@@ -65,7 +65,32 @@ enum class EventKind : u8 {
   // rings must see epoch fences under the default mask).
   kRecoveryBegin,  // a: epoch, b: dead-core bitmask (low 64), c: page
   kRecoveryEnd,    // a: epoch, b: proto::RecoveryAction taken, c: page
+
+  // Integrity layer (category kCatIntegrity): checksummed mail and
+  // sealed pages turning corruption into detection-and-recovery.
+  kMailCorruptDrop,  // a: sender core, b: packed mail, c: computed crc
+  kPageSeal,         // a: page, b: seal generation, c: crc32c
+  kPageCorrupt,      // a: page, b: seal generation, c: IntegrityAction
+  kMetaCorrupt,      // a: page, b: MetaKind, c: corrected value
+  kScrubPass,        // a: pages walked, b: corruptions found
 };
+
+/// What became of a page whose seal failed verification (payload `c`
+/// of kPageCorrupt).
+enum class IntegrityAction : u8 {
+  kRepaired = 0,   // rebuilt from a clean cached copy, seal re-verified
+  kRefetched = 1,  // re-read from the owner's clean copy
+  kPoisoned = 2,   // no clean copy anywhere: page poisoned, access throws
+};
+
+inline const char* to_string(IntegrityAction a) {
+  switch (a) {
+    case IntegrityAction::kRepaired: return "repaired";
+    case IntegrityAction::kRefetched: return "refetched";
+    case IntegrityAction::kPoisoned: return "poisoned";
+  }
+  return "?";
+}
 
 /// What the chaos layer injected (payload `a` of kFaultInject).
 enum class InjectKind : u8 {
@@ -76,6 +101,9 @@ enum class InjectKind : u8 {
   kStall,
   kSpuriousWake,
   kCoreKill,
+  kMailFlip,
+  kPageFlip,
+  kMetaFlip,
 };
 
 inline const char* to_string(InjectKind k) {
@@ -87,6 +115,9 @@ inline const char* to_string(InjectKind k) {
     case InjectKind::kStall: return "stall";
     case InjectKind::kSpuriousWake: return "spurious-wake";
     case InjectKind::kCoreKill: return "core-kill";
+    case InjectKind::kMailFlip: return "mail-flip";
+    case InjectKind::kPageFlip: return "page-flip";
+    case InjectKind::kMetaFlip: return "meta-flip";
   }
   return "?";
 }
@@ -116,6 +147,11 @@ inline const char* to_string(EventKind k) {
     case EventKind::kWatchdogTrip: return "watchdog-trip";
     case EventKind::kRecoveryBegin: return "recovery-begin";
     case EventKind::kRecoveryEnd: return "recovery-end";
+    case EventKind::kMailCorruptDrop: return "mail-corrupt-drop";
+    case EventKind::kPageSeal: return "page-seal";
+    case EventKind::kPageCorrupt: return "page-corrupt";
+    case EventKind::kMetaCorrupt: return "meta-corrupt";
+    case EventKind::kScrubPass: return "scrub-pass";
   }
   return "?";
 }
@@ -131,10 +167,11 @@ inline constexpr u32 kCatMail = 1u << 2;
 inline constexpr u32 kCatSync = 1u << 3;
 inline constexpr u32 kCatMem = 1u << 4;  // high volume, off by default
 inline constexpr u32 kCatChaos = 1u << 5;
+inline constexpr u32 kCatIntegrity = 1u << 6;
 
 /// What `--trace` turns on (everything but the memory firehose).
 inline constexpr u32 kCatTrace =
-    kCatProto | kCatSvm | kCatMail | kCatSync | kCatChaos;
+    kCatProto | kCatSvm | kCatMail | kCatSync | kCatChaos | kCatIntegrity;
 inline constexpr u32 kCatAll = kCatTrace | kCatMem;
 
 constexpr u32 category_of(EventKind k) {
@@ -169,6 +206,12 @@ constexpr u32 category_of(EventKind k) {
     case EventKind::kRecoveryBegin:
     case EventKind::kRecoveryEnd:
       return kCatProto;
+    case EventKind::kMailCorruptDrop:
+    case EventKind::kPageSeal:
+    case EventKind::kPageCorrupt:
+    case EventKind::kMetaCorrupt:
+    case EventKind::kScrubPass:
+      return kCatIntegrity;
   }
   return kCatProto;
 }

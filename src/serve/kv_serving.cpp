@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "mailbox/reliable.hpp"
 #include "sccsim/chip.hpp"
 
 namespace msvm::serve {
@@ -120,7 +121,11 @@ KvServingResult run_kv_serving(const KvServingParams& p, svm::Model model,
     std::deque<Request> backlog;
     std::vector<Slot> slots(p.max_outstanding);
     std::deque<PendingAck> pending_acks;
-    u64 next_seq = 1;
+    // Request identity + retransmission through the shared reliable-
+    // delivery endpoint; ids are 64-bit (rank << 32 | monotonic) because
+    // a serving run issues far more requests than a 16-bit protocol
+    // sequence could distinguish.
+    mbox::ReliableChannel chan(mb);
     const u64 rank_tag = static_cast<u64>(rank) << 32;
 
     auto is_req = [](const mbox::Mail& m) {
@@ -235,7 +240,7 @@ KvServingResult run_kv_serving(const KvServingParams& p, svm::Model model,
       m.arg16 = static_cast<u16>(static_cast<u16>(r.op) |
                                  (u32{r.scan_len} << 2));
       m.p0 = r.key;
-      m.p1 = rank_tag | next_seq;
+      m.p1 = chan.reqid(rank_tag);
       if (!mb.try_send(dest, m)) return false;  // slot full; retry later
       backlog.pop_front();
       free_slot->active = true;
@@ -244,7 +249,7 @@ KvServingResult run_kv_serving(const KvServingParams& p, svm::Model model,
       free_slot->dest = dest;
       free_slot->deadline = core.now() + p.timeout_ps;
       free_slot->tries = 1;
-      ++next_seq;
+      chan.advance_reqid();
       ++t.issued;
       count_op(r.op);
       return true;
@@ -261,7 +266,7 @@ KvServingResult run_kv_serving(const KvServingParams& p, svm::Model model,
                                      (u32{s.req.scan_len} << 2));
           m.p0 = s.req.key;
           m.p1 = s.reqid;  // same id: a late first reply still matches
-          if (mb.try_send(s.dest, m)) {
+          if (chan.retransmit(s.dest, m)) {
             ++s.tries;
             ++t.retransmits;
             s.deadline = core.now() + p.timeout_ps;

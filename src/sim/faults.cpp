@@ -116,6 +116,31 @@ KillSpec parse_kill(const std::string& tok, const std::string& text) {
   return k;
 }
 
+/// Splits "P[@CORE]" for the flipmail clause: a bare probability means
+/// every core's deliveries are fair game; "P@CORE" focuses the flips on
+/// mails delivered to one core.
+void parse_flip_target(const std::string& tok, const std::string& text,
+                       double* p, int* core) {
+  const std::size_t at = text.find('@');
+  *p = parse_probability(tok, text.substr(0, at));
+  if (at == std::string::npos) {
+    *core = -1;
+    return;
+  }
+  const u64 c = parse_u64(tok, text.substr(at + 1));
+  if (c > 100000) {
+    throw FaultSpecError("fault spec: implausible core id in '" + tok + "'");
+  }
+  *core = static_cast<int>(c);
+}
+
+/// Parses "0"/"1" for boolean knobs.
+bool parse_bool(const std::string& tok, const std::string& text) {
+  if (text == "0") return false;
+  if (text == "1") return true;
+  throw FaultSpecError("fault spec: expected 0 or 1 in '" + tok + "'");
+}
+
 /// Splits "P:DUR" for the delay/stall knobs.
 void parse_prob_duration(const std::string& tok, const std::string& text,
                          double* p, TimePs* dur) {
@@ -184,6 +209,16 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         parse_prob_duration(tok, val, &plan.stall, &plan.stall_max_ps);
       } else if (key == "spurious") {
         plan.spurious = parse_probability(tok, val);
+      } else if (key == "flipmail") {
+        parse_flip_target(tok, val, &plan.flipmail, &plan.flipmail_core);
+      } else if (key == "flippage") {
+        plan.flippage = parse_probability(tok, val);
+      } else if (key == "flipmeta") {
+        plan.flipmeta = parse_probability(tok, val);
+      } else if (key == "integrity") {
+        plan.integrity = parse_bool(tok, val);
+      } else if (key == "scrub") {
+        plan.scrub_ps = parse_duration(tok, val);
       } else if (key == "watchdog") {
         plan.watchdog_ps = parse_duration(tok, val);
       } else if (key == "sweep") {
@@ -228,6 +263,15 @@ std::string FaultPlan::to_spec() const {
   if (stall > 0) add("stall=" + fmt_prob(stall) + ":" +
                      fmt_duration(stall_max_ps));
   if (spurious > 0) add("spurious=" + fmt_prob(spurious));
+  if (flipmail > 0) {
+    std::string tok = "flipmail=" + fmt_prob(flipmail);
+    if (flipmail_core >= 0) tok += "@" + std::to_string(flipmail_core);
+    add(tok);
+  }
+  if (flippage > 0) add("flippage=" + fmt_prob(flippage));
+  if (flipmeta > 0) add("flipmeta=" + fmt_prob(flipmeta));
+  if (integrity) add("integrity=1");
+  if (scrub_ps > 0) add("scrub=" + fmt_duration(scrub_ps));
   if (watchdog_ps > 0) add("watchdog=" + fmt_duration(watchdog_ps));
   if (sweep_period > 0) add("sweep=" + std::to_string(sweep_period));
   if (degrade_after > 0) add("degrade=" + std::to_string(degrade_after));

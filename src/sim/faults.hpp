@@ -9,11 +9,14 @@
 // sweep, and arms no watchdog, so the simulation is bit-identical to a
 // build without this subsystem.
 //
-// The FaultInjector owns the plan plus a private xoshiro256** stream
-// seeded from plan.seed. Because the simulator is single-threaded and
+// The FaultInjector owns the plan plus one private xoshiro256** stream
+// *per clause*, each seeded by a splitmix finalizer over (plan.seed,
+// clause index). Because the simulator is single-threaded and
 // deterministic, the sequence of injector queries is itself
 // deterministic, so a (seed, plan) pair replays the exact same fault
-// schedule every run.
+// schedule every run — and because the streams are independent, adding
+// a clause to a plan never perturbs the draws of the clauses already
+// there.
 //
 // Spec grammar (CLI `--faults=` / env `MSVM_FAULTS`), comma- or
 // whitespace-separated `key=value` tokens:
@@ -25,6 +28,17 @@
 //   mail_dup=P        deliver a received mail twice with probability P
 //   stall=P:DUR       stall a core uniform(0,DUR] at a tick boundary
 //   spurious=P        wake a halted core early with probability P
+//   flipmail=P[@CORE] flip one random bit in a delivered mail line with
+//                     probability P (optionally only mails delivered to
+//                     core CORE)
+//   flippage=P        flip one random bit in a page frame at an
+//                     ownership handoff with probability P
+//   flipmeta=P        flip one random bit in an SVM meta word (owner /
+//                     scratchpad / directory) at a store with prob. P
+//   integrity=0|1     force the checksum/verify machinery on even with
+//                     no flip clause armed (flips imply integrity)
+//   scrub=DUR         background scrubber: walk idle sealed pages every
+//                     DUR of virtual time (0 = off; implies integrity)
 //   watchdog=DUR      per-core hang limit (0 = disabled)
 //   sweep=N           IPI mode: poll-sweep every N timer ticks (0 = off)
 //   degrade=N         drop to poll mode after N sweep recoveries (0 = off)
@@ -84,6 +98,12 @@ struct FaultPlan {
   TimePs stall_max_ps = 50 * kPsPerUs;
   double spurious = 0.0;
 
+  // Corruption injection (the SDC fault domain; all default 0).
+  double flipmail = 0.0;
+  int flipmail_core = -1;   // -1 = mails to any core; else only to CORE
+  double flippage = 0.0;
+  double flipmeta = 0.0;
+
   // Scheduled fail-stop deaths (default none). Kills are deterministic —
   // no RNG draw — so adding one perturbs nothing else in the schedule.
   std::vector<KillSpec> kills;
@@ -94,13 +114,26 @@ struct FaultPlan {
   u32 degrade_after = 0;    // degrade to poll mode after N sweep recoveries
   TimePs retry_ps = 0;      // protocol retransmission base timeout override
   TimePs lease_ps = 0;      // heartbeat lease; 0 = no failure detection
+  bool integrity = false;   // force checksums on without any flip clause
+  TimePs scrub_ps = 0;      // background scrubber period; 0 = off
 
-  /// True when any injection is armed (probabilities or scheduled
-  /// kills). Recovery knobs (watchdog, sweep, degrade, retry, lease) do
-  /// not count: an armed watchdog with no faults must stay bit-identical.
+  /// True when any injection is armed (probabilities, flips, or
+  /// scheduled kills). Recovery knobs (watchdog, sweep, degrade, retry,
+  /// lease, integrity, scrub) do not count: an armed watchdog with no
+  /// faults must stay bit-identical.
   bool any_faults() const {
     return ipi_drop > 0 || ipi_delay > 0 || mail_delay > 0 || mail_dup > 0 ||
-           stall > 0 || spurious > 0 || !kills.empty();
+           stall > 0 || spurious > 0 || flipmail > 0 || flippage > 0 ||
+           flipmeta > 0 || !kills.empty();
+  }
+
+  /// True when the integrity layer (mail CRCs, page seals, meta guards)
+  /// must be armed: explicitly requested, needed by a scrubber, or
+  /// implied by any flip clause — injected corruption without detection
+  /// would be exactly the silent-wrong outcome the layer exists to kill.
+  bool integrity_armed() const {
+    return integrity || scrub_ps > 0 || flipmail > 0 || flippage > 0 ||
+           flipmeta > 0;
   }
 
   /// Parses the spec grammar above. Throws FaultSpecError with the
@@ -117,7 +150,11 @@ struct FaultPlan {
   std::string to_spec() const;
 };
 
-/// Host-side tally of what was actually injected during a run.
+/// Host-side tally of what was actually injected during a run. The
+/// three flip counters double as the corruption *ledger*: the campaign
+/// gate reconciles them against the detection-side counters (corrupt
+/// mail drops, seal mismatches, meta corrections) so no injected flip
+/// can vanish unaccounted.
 struct FaultStats {
   u64 ipis_dropped = 0;
   u64 ipis_delayed = 0;
@@ -127,7 +164,36 @@ struct FaultStats {
   u64 stalls = 0;
   TimePs stall_ps = 0;
   u64 spurious_wakes = 0;
+  u64 mail_flips = 0;
+  u64 page_flips = 0;
+  u64 meta_flips = 0;
 };
+
+/// Stable clause identities for the per-clause RNG sub-streams. The
+/// numeric values are part of the determinism contract (they feed the
+/// sub-seed derivation), so append only — never renumber.
+enum class FaultClause : u32 {
+  kIpiDrop = 0,
+  kIpiDelay = 1,
+  kMailDelay = 2,
+  kMailDup = 3,
+  kStall = 4,
+  kSpurious = 5,
+  kFlipMail = 6,
+  kFlipPage = 7,
+  kFlipMeta = 8,
+  kCount = 9,
+};
+
+/// Derives the sub-seed for one clause's RNG stream: a splitmix64-style
+/// finalizer over (seed, clause), so neighbouring clause indices land in
+/// unrelated regions of seed space.
+constexpr u64 fault_clause_seed(u64 seed, FaultClause clause) {
+  u64 x = seed ^ (0x9e3779b97f4a7c15ull * (static_cast<u64>(clause) + 1));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 /// The per-chip fault oracle. Hook points (gic raise, mailbox flag
 /// check, core tick boundary, halt) call the query methods below; each
@@ -137,7 +203,12 @@ struct FaultStats {
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan)
-      : plan_(plan), rng_(plan.seed), enabled_(plan.any_faults()) {}
+      : plan_(plan), enabled_(plan.any_faults()) {
+    for (u32 i = 0; i < static_cast<u32>(FaultClause::kCount); ++i) {
+      streams_[i].reseed(
+          fault_clause_seed(plan.seed, static_cast<FaultClause>(i)));
+    }
+  }
 
   const FaultPlan& plan() const { return plan_; }
   FaultStats& stats() { return stats_; }
@@ -149,15 +220,17 @@ class FaultInjector {
 
   /// Should this raised IPI be dropped on the wire?
   bool drop_ipi() {
-    if (plan_.ipi_drop <= 0 || !rng_.next_bool(plan_.ipi_drop)) return false;
+    Rng& rng = stream(FaultClause::kIpiDrop);
+    if (plan_.ipi_drop <= 0 || !rng.next_bool(plan_.ipi_drop)) return false;
     ++stats_.ipis_dropped;
     return true;
   }
 
   /// Extra wire delay for this IPI (0 = deliver normally).
   TimePs ipi_extra_delay_ps() {
-    if (plan_.ipi_delay <= 0 || !rng_.next_bool(plan_.ipi_delay)) return 0;
-    const TimePs d = 1 + static_cast<TimePs>(rng_.next_below(
+    Rng& rng = stream(FaultClause::kIpiDelay);
+    if (plan_.ipi_delay <= 0 || !rng.next_bool(plan_.ipi_delay)) return 0;
+    const TimePs d = 1 + static_cast<TimePs>(rng.next_below(
                              static_cast<u64>(plan_.ipi_delay_max_ps)));
     ++stats_.ipis_delayed;
     stats_.ipi_delay_ps += d;
@@ -166,7 +239,8 @@ class FaultInjector {
 
   /// Should this set mailbox flag be reported as clear for one check?
   bool delay_flag() {
-    if (plan_.mail_delay <= 0 || !rng_.next_bool(plan_.mail_delay)) {
+    Rng& rng = stream(FaultClause::kMailDelay);
+    if (plan_.mail_delay <= 0 || !rng.next_bool(plan_.mail_delay)) {
       return false;
     }
     ++stats_.flags_delayed;
@@ -175,15 +249,17 @@ class FaultInjector {
 
   /// Should this received mail be dispatched twice?
   bool duplicate_mail() {
-    if (plan_.mail_dup <= 0 || !rng_.next_bool(plan_.mail_dup)) return false;
+    Rng& rng = stream(FaultClause::kMailDup);
+    if (plan_.mail_dup <= 0 || !rng.next_bool(plan_.mail_dup)) return false;
     ++stats_.mails_duplicated;
     return true;
   }
 
   /// Bounded virtual-time stall to impose at a tick boundary (0 = none).
   TimePs stall_ps() {
-    if (plan_.stall <= 0 || !rng_.next_bool(plan_.stall)) return 0;
-    const TimePs d = 1 + static_cast<TimePs>(rng_.next_below(
+    Rng& rng = stream(FaultClause::kStall);
+    if (plan_.stall <= 0 || !rng.next_bool(plan_.stall)) return 0;
+    const TimePs d = 1 + static_cast<TimePs>(rng.next_below(
                              static_cast<u64>(plan_.stall_max_ps)));
     ++stats_.stalls;
     stats_.stall_ps += d;
@@ -194,18 +270,59 @@ class FaultInjector {
   /// uniform(0,max_gap) early. `max_gap` is the time until the real wake
   /// event, so the spurious wake never sleeps *longer* than intended.
   TimePs spurious_wake_ps(TimePs max_gap) {
+    Rng& rng = stream(FaultClause::kSpurious);
     if (plan_.spurious <= 0 || max_gap <= 0 ||
-        !rng_.next_bool(plan_.spurious)) {
+        !rng.next_bool(plan_.spurious)) {
       return 0;
     }
     ++stats_.spurious_wakes;
     return 1 + static_cast<TimePs>(
-                   rng_.next_below(static_cast<u64>(max_gap)));
+                   rng.next_below(static_cast<u64>(max_gap)));
+  }
+
+  /// Bit to flip in a mail line delivered to `dest_core`, or -1 to
+  /// deliver intact. `nbits` is the flippable span (the payload + CRC
+  /// bytes — never the flag byte, which is flow control, not data).
+  /// Cores outside the plan's @CORE filter draw nothing, so focusing
+  /// the clause on one core perturbs no other core's delivery stream.
+  int mail_flip_bit(int dest_core, u32 nbits) {
+    if (plan_.flipmail <= 0 || nbits == 0) return -1;
+    if (plan_.flipmail_core >= 0 && plan_.flipmail_core != dest_core) {
+      return -1;
+    }
+    Rng& rng = stream(FaultClause::kFlipMail);
+    if (!rng.next_bool(plan_.flipmail)) return -1;
+    ++stats_.mail_flips;
+    return static_cast<int>(rng.next_below(nbits));
+  }
+
+  /// Bit to flip in a page frame at an ownership handoff, or -1 to
+  /// hand the frame over intact. `nbits` = page_bytes * 8.
+  i64 page_flip_bit(u64 nbits) {
+    if (plan_.flippage <= 0 || nbits == 0) return -1;
+    Rng& rng = stream(FaultClause::kFlipPage);
+    if (!rng.next_bool(plan_.flippage)) return -1;
+    ++stats_.page_flips;
+    return static_cast<i64>(rng.next_below(nbits));
+  }
+
+  /// Bit to flip in an SVM meta word being stored, or -1 to store it
+  /// intact. `nbits` is the width of the stored word (16 or 64).
+  int meta_flip_bit(u32 nbits) {
+    if (plan_.flipmeta <= 0 || nbits == 0) return -1;
+    Rng& rng = stream(FaultClause::kFlipMeta);
+    if (!rng.next_bool(plan_.flipmeta)) return -1;
+    ++stats_.meta_flips;
+    return static_cast<int>(rng.next_below(nbits));
   }
 
  private:
+  Rng& stream(FaultClause clause) {
+    return streams_[static_cast<u32>(clause)];
+  }
+
   FaultPlan plan_;
-  Rng rng_;
+  Rng streams_[static_cast<u32>(FaultClause::kCount)];
   bool enabled_;
   FaultStats stats_;
 };

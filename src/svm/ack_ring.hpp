@@ -1,88 +1,15 @@
-// AckRing — the bounded receiver-side ACK dedup ring plus the 16-bit
-// request sequence counter, extracted as a standalone class so its
-// boundary behaviour (capacity eviction, sequence wraparound) is unit-
-// testable without driving 65k simulated protocol round-trips.
-//
-// The ring remembers the last 64 ACK identity keys (sender, type, page,
-// seq packed by the caller). A key already present is a duplicate — a
-// retransmitted or fault-duplicated ACK that must not be counted twice
-// against a multicast wait. The ring is deliberately small: an identity
-// only needs to be remembered for the window in which its duplicate can
-// still arrive (one retransmission timeout), and 64 outstanding ACK
-// identities comfortably cover one core's in-flight protocol state.
-// Evicting a live entry is therefore harmless for correctness (a
-// duplicate of an evicted ACK is re-admitted and retires an already-
-// satisfied wait, which the wait loops tolerate) but worth counting:
-// a hot `acks_evicted` tally means the window assumption is under
-// pressure and the ring should grow.
-//
-// Sequence wraparound: seq numbers are u16 and 0 is reserved (the
-// unbounded-path placeholder). When the counter wraps, keys remembered
-// from the previous sequence epoch could collide with fresh identities
-// and silently swallow a legitimate ACK — so the ring is cleared at the
-// wrap point, trading at worst one redundant retransmission for the
-// collision hazard.
+// AckRing moved to mailbox/reliable.hpp: the dedup ring and sequence
+// counter turned out to be transport-level machinery shared between the
+// SVM runtime and the KV serving tier (both sit on the same unreliable
+// mailbox and recover corrupt-dropped mail the same way). This header
+// keeps the historical svm::AckRing name alive for existing includes
+// and the unit tests.
 #pragma once
 
-#include <array>
-#include <cstddef>
-#include <cstdint>
+#include "mailbox/reliable.hpp"
 
 namespace msvm::svm {
 
-class AckRing {
- public:
-  using u16 = std::uint16_t;
-  using u64 = std::uint64_t;
-
-  static constexpr std::size_t kEntries = 64;
-
-  enum class Admit : std::uint8_t {
-    kDuplicate,      // key already remembered: drop the ACK
-    kFresh,          // new key, stored in a free slot
-    kFreshEvicting,  // new key, displaced a live entry (capacity hit)
-  };
-
-  /// Stamps the next request sequence number (1..65535; 0 is skipped).
-  /// Clears the ring when the counter wraps — see the header comment.
-  u16 next_seq() {
-    if (++seq_ == 0) {
-      seen_.fill(0);
-      next_slot_ = 0;
-      seq_ = 1;
-      ++wraps_;
-    }
-    return seq_;
-  }
-
-  /// Admits an ACK identity key. Key 0 is never remembered (it is the
-  /// cleared-slot sentinel), so callers must pack a non-zero key.
-  Admit admit(u64 key) {
-    for (const u64 seen : seen_) {
-      if (seen == key) return Admit::kDuplicate;
-    }
-    const std::size_t slot = next_slot_++ % seen_.size();
-    const Admit verdict =
-        seen_[slot] != 0 ? Admit::kFreshEvicting : Admit::kFresh;
-    seen_[slot] = key;
-    return verdict;
-  }
-
-  u16 seq() const { return seq_; }
-  u64 wraps() const { return wraps_; }
-  /// True when `key` is currently remembered (test introspection).
-  bool remembers(u64 key) const {
-    for (const u64 seen : seen_) {
-      if (seen == key) return true;
-    }
-    return false;
-  }
-
- private:
-  std::array<u64, kEntries> seen_{};
-  std::size_t next_slot_ = 0;
-  u16 seq_ = 0;
-  u64 wraps_ = 0;
-};
+using AckRing = mbox::AckRing;
 
 }  // namespace msvm::svm

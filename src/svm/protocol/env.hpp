@@ -70,6 +70,28 @@ class ProtocolEnv : public TraceSink {
   /// Downgrades the mapping of `page` to read-only (stays present).
   virtual void downgrade_page(u64 page) = 0;
 
+  // ---- frame integrity (default no-op: the plain env has no seals) ----
+
+  /// Seals `page`'s frame: records a generation-stamped checksum of the
+  /// frame contents at a point where they are quiescent — ownership
+  /// handoff after the WCB flush, or an Exclusive -> Shared downgrade.
+  /// `exclusive` says nobody holds a mapping at the seal point (the
+  /// handoff case: owner unmapped, sharers already invalidated), i.e.
+  /// the next toucher is guaranteed to verify before reading — the only
+  /// window where the chaos layer may inject frame corruption without
+  /// risking a silent wrong read. The protocol core marks the *where*;
+  /// the binding layer owns the how (and whether: seals only exist when
+  /// the integrity layer is armed).
+  virtual void page_seal([[maybe_unused]] u64 page,
+                         [[maybe_unused]] bool exclusive) {}
+
+  /// Verifies `page`'s frame against its seal before this core starts
+  /// trusting the data (ownership acquired, replica granted). On a
+  /// mismatch the binding layer repairs from a clean copy when one
+  /// exists, else poisons the page and throws SvmIntegrityError — a
+  /// verify never returns with bad data mapped.
+  virtual void page_verify([[maybe_unused]] u64 page) {}
+
   // ---- serialisation ----
 
   /// Acquires/releases the per-page transfer lock that serialises

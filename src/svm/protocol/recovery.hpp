@@ -47,6 +47,13 @@ namespace msvm::svm::proto {
 /// ids are bounded by the chip's core count (<= 1024), far below this.
 inline constexpr u16 kOwnerLost = 0xffff;
 
+/// Owner-word sentinel for a page whose frame failed its integrity
+/// check (checksum mismatch against the seal taken at the last
+/// ownership handoff) with no clean copy left to repair from. Distinct
+/// from kOwnerLost so reports can tell "owner died dirty" from "bits
+/// rotted in DRAM".
+inline constexpr u16 kOwnerCorrupt = 0xfffe;
+
 /// Typed, never-silent result of touching a poisoned page. Thrown out
 /// of the faulting access; the cluster layer records it per member.
 class SvmDataLossError : public std::runtime_error {
@@ -65,6 +72,25 @@ class SvmDataLossError : public std::runtime_error {
  private:
   u64 page_;
   int dead_owner_;
+
+ protected:
+  SvmDataLossError(const std::string& what, u64 page, int dead_owner)
+      : std::runtime_error(what), page_(page), dead_owner_(dead_owner) {}
+};
+
+/// Typed, never-silent result of touching a corruption-poisoned page:
+/// the frame's checksum failed verification and no clean copy (owner
+/// cache, surviving replica) existed to rebuild it from. Derives from
+/// SvmDataLossError so every existing unwind path (transfer-lock
+/// release, cluster per-member accounting) treats it as data loss.
+class SvmIntegrityError : public SvmDataLossError {
+ public:
+  explicit SvmIntegrityError(u64 page)
+      : SvmDataLossError("SVM data integrity: page " +
+                             std::to_string(page) +
+                             " failed checksum verification with no "
+                             "clean copy to recover from",
+                         page, /*dead_owner=*/-1) {}
 };
 
 /// What recover_page did to the page.

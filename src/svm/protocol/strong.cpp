@@ -79,7 +79,17 @@ void StrongOwnerPolicy::acquire_ownership(u64 page, ProtocolEnv& env) {
       env.transfer_unlock(page);
       throw SvmDataLossError(page, kOwnerLost);
     }
+    if (owner == kOwnerCorrupt) {
+      // Poisoned by a failed integrity check (frame checksum mismatch
+      // with no clean copy left). Same contract: typed, never silent.
+      env.transfer_unlock(page);
+      throw SvmIntegrityError(page);
+    }
     if (owner == env.self()) {
+      // The frame just changed hands: check it against the seal the
+      // previous owner took at the handoff before trusting the data.
+      // May repair, or poison and throw (lock released by the unwind).
+      env.page_verify(page);
       // Close the window between learning we own the page and mapping
       // it: an incoming request handled in between would unmap it again.
       env.irq_off();
@@ -122,9 +132,10 @@ void StrongOwnerPolicy::serve_ownership_request(const Msg& m,
     }
     return;
   }
-  if (owner == kOwnerLost) {
-    // Poisoned page (fail-stop recovery): no ACK — the requester's own
-    // recovery path discovers the loss and throws the typed error.
+  if (owner == kOwnerLost || owner == kOwnerCorrupt) {
+    // Poisoned page (fail-stop recovery or a failed integrity check):
+    // no ACK — the requester's own path discovers the poison sentinel
+    // and throws the typed error.
     return;
   }
   if (owner != env.self()) {
@@ -144,6 +155,11 @@ void StrongOwnerPolicy::serve_ownership_request(const Msg& m,
   if (!sabotage.skip_serve_cl1invmb) env.cl1invmb();
   if (!sabotage.skip_serve_unmap) env.unmap_page(page);
   transition(page, PageState::kInvalid, env);
+  // The WCB flush published our last writes: the frame in DRAM is now
+  // the page. Seal it so the new owner can verify what it receives —
+  // exclusive: we just unmapped and any sharers were invalidated before
+  // the transfer, so nobody can read the frame before a verify.
+  env.page_seal(page, /*exclusive=*/true);
   env.meta().set_owner(page, static_cast<u16>(requester));
   if (cfg_.ack_via_mail) {
     env.send(requester, Msg{MsgType::kOwnershipAck, page, 0});

@@ -144,6 +144,13 @@ struct SvmStats {
   u64 pages_refetched = 0;     // dead-owner pages re-homed to the detector
   u64 pages_lost = 0;          // pages poisoned (owner died dirty)
   u64 locks_broken = 0;        // TAS locks force-released from the dead
+  // Data integrity (all zero unless the integrity layer is armed).
+  u64 pages_sealed = 0;        // frame checksums recorded at handoff
+  u64 seal_verifies = 0;       // frame checksums checked before trusting
+  u64 seal_repairs = 0;        // corrupt frames rebuilt from a clean cache
+  u64 seal_refetches = 0;      // corrupt frames re-read from a clean copy
+  u64 pages_poisoned = 0;      // corrupt frames with no clean copy left
+  u64 meta_corrections = 0;    // metadata words caught and corrected
 };
 
 /// Self-description of SvmStats: one entry per field, in declaration
@@ -177,6 +184,12 @@ inline constexpr SvmStatsField kSvmStatsFields[] = {
     {"pages_refetched", &SvmStats::pages_refetched},
     {"pages_lost", &SvmStats::pages_lost},
     {"locks_broken", &SvmStats::locks_broken},
+    {"pages_sealed", &SvmStats::pages_sealed},
+    {"seal_verifies", &SvmStats::seal_verifies},
+    {"seal_repairs", &SvmStats::seal_repairs},
+    {"seal_refetches", &SvmStats::seal_refetches},
+    {"pages_poisoned", &SvmStats::pages_poisoned},
+    {"meta_corrections", &SvmStats::meta_corrections},
 };
 
 /// Hardware-counter events the protocol raises; the binding layer maps

@@ -56,6 +56,12 @@ void ShadowDirectory::on_event(const Event& e) {
       const auto from = static_cast<proto::PageState>(e.b);
       const auto to = static_cast<proto::PageState>(e.c);
       PageShadow& shadow = pages_[page];
+      if (to != proto::PageState::kInvalid && poisoned_.count(page) != 0) {
+        record_violation(e, "poison-finality",
+                         page_str(page) + ": entering " +
+                             proto::to_string(to) +
+                             " after the integrity layer poisoned it");
+      }
       if (from == proto::PageState::kOwnedRW && shadow.writer == e.core) {
         shadow.writer = -1;
       }
@@ -104,6 +110,27 @@ void ShadowDirectory::on_event(const Event& e) {
       break;
     }
 
+    case EventKind::kMailCorruptDrop:
+      ++mail_corrupt_drops_;
+      break;
+
+    case EventKind::kPageCorrupt: {
+      ++page_corruptions_;
+      if (static_cast<obs::IntegrityAction>(e.c) ==
+          obs::IntegrityAction::kPoisoned) {
+        poisoned_.insert(e.a);
+      }
+      break;
+    }
+
+    case EventKind::kMetaCorrupt:
+      ++meta_corruptions_;
+      break;
+
+    case EventKind::kScrubPass:
+      ++scrub_passes_;
+      break;
+
     case EventKind::kRecoveryBegin: {
       if (e.a <= last_epoch_) {
         record_violation(e, "epoch-monotonicity",
@@ -124,6 +151,13 @@ std::string ShadowDirectory::report() const {
   std::string out = "coherence audit: " + std::to_string(events_audited_) +
                     " events, " + std::to_string(violation_count_) +
                     " violations";
+  if (mail_corrupt_drops_ + page_corruptions_ + meta_corruptions_ > 0) {
+    out += " (integrity: " + std::to_string(mail_corrupt_drops_) +
+           " mail drops, " + std::to_string(page_corruptions_) +
+           " page corruptions, " + std::to_string(poisoned_.size()) +
+           " poisoned, " + std::to_string(meta_corruptions_) +
+           " meta corrections)";
+  }
   if (violation_count_ == 0) {
     out += " (clean)\n";
     return out;

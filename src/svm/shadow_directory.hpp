@@ -17,7 +17,13 @@
 //     strictly increasing epoch (each per-page repair runs under that
 //     page's transfer lock);
 //   * dead-core silence — a fail-stopped core publishes no protocol
-//     events after its kCoreKill injection record.
+//     events after its kCoreKill injection record;
+//   * poison finality — a page the integrity layer poisoned (kPageCorrupt
+//     with IntegrityAction::kPoisoned) never re-enters OwnedRW or
+//     SharedRO: there is no un-poison transition, so any later mapping
+//     of that page means some core trusted known-bad data. Needs
+//     obs::kCatIntegrity enabled alongside kCatProto (the corruption
+//     campaign's --audit flag does).
 //
 // Events are processed in bus-arrival order, NOT timestamp order:
 // arrival order respects simulator causality (a mail cannot be received
@@ -64,6 +70,14 @@ class ShadowDirectory final : public obs::EventSink {
   u64 violation_count() const { return violation_count_; }
   bool clean() const { return violation_count_ == 0; }
 
+  // Integrity bookkeeping replayed off kCatIntegrity events (all zero
+  // when the integrity layer is off or the category is not enabled).
+  u64 mail_corrupt_drops() const { return mail_corrupt_drops_; }
+  u64 page_corruptions() const { return page_corruptions_; }
+  u64 pages_poisoned() const { return poisoned_.size(); }
+  u64 meta_corruptions() const { return meta_corruptions_; }
+  u64 scrub_passes() const { return scrub_passes_; }
+
   /// Human-readable summary (event count, each violation on a line).
   std::string report() const;
 
@@ -82,6 +96,11 @@ class ShadowDirectory final : public obs::EventSink {
   Config cfg_;
   std::unordered_map<u64, PageShadow> pages_;
   std::unordered_set<int> dead_;
+  std::unordered_set<u64> poisoned_;  // integrity-poisoned pages
+  u64 mail_corrupt_drops_ = 0;
+  u64 page_corruptions_ = 0;
+  u64 meta_corruptions_ = 0;
+  u64 scrub_passes_ = 0;
   u64 last_epoch_ = 0;
   u64 events_audited_ = 0;
   u64 violation_count_ = 0;

@@ -41,6 +41,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kernel/kernel.hpp"
@@ -81,6 +82,12 @@ using SvmStats = proto::SvmStats;
 /// owner-word sentinel that marks such a page.
 using proto::kOwnerLost;
 using proto::SvmDataLossError;
+
+/// Data-integrity vocabulary (svm/protocol/recovery.hpp): the typed error
+/// thrown on any access to a page that failed checksum verification with
+/// no clean copy left, and its owner-word poison sentinel.
+using proto::kOwnerCorrupt;
+using proto::SvmIntegrityError;
 
 /// Thrown (into the faulting simulated program) on a write to a page
 /// protected with protect_readonly() — the debugging aid of Section 6.4.
@@ -266,6 +273,32 @@ class SvmDomain {
   // sequence is strictly increasing — the coherence auditor asserts
   // exactly that off the kRecoveryBegin events.
   u64 recovery_epoch = 0;
+
+  // ---- integrity layer (host-side; sized only when the fault plan arms
+  // it, so flag-off runs carry no state and stay byte-identical) ----
+
+  /// One page's frame seal: the generation-stamped CRC32C taken at the
+  /// last point the frame was provably quiescent (ownership handoff, or
+  /// an Exclusive -> Shared downgrade). `exclusive` records whether
+  /// nobody held a mapping at the seal point — the only seals the chaos
+  /// layer may corrupt without risking a silent wrong read. A writable
+  /// mapping invalidates the seal (the frame is no longer quiescent).
+  struct PageSeal {
+    u32 crc = 0;
+    u32 gen = 0;        // bumped per reseal; echoed in kPageSeal/kPageCorrupt
+    int sealer = -1;    // core that took the seal (preferred repair source)
+    bool valid = false;
+    bool exclusive = false;
+  };
+  /// Indexed by (page - page_index_base()); empty unless integrity_armed.
+  std::vector<PageSeal> seals;
+
+  /// ECC-model shadow of the SVM metadata words, keyed by simulated
+  /// physical address: every metadata store records its true value here,
+  /// and every load compares — a divergence (an injected flipmeta bit)
+  /// is corrected back from the shadow, the way ECC scrubs a single-bit
+  /// DRAM error. Empty unless integrity_armed.
+  std::unordered_map<u64, u64> meta_shadow;
 
  private:
   struct AllocRecord {

@@ -97,6 +97,12 @@ SvmDomain::SvmDomain(scc::Chip& chip, SvmConfig cfg,
       chip_.memory().write(mc_counter_paddr(mc), &v, sizeof(v));
     }
   }
+
+  // Integrity layer storage exists only when armed: a flag-off run must
+  // not even size the vectors (byte-identical baselines).
+  if (chip_.faults().plan().integrity_armed()) {
+    seals.resize(svm_page_capacity_);
+  }
 }
 
 u64 SvmDomain::vbase() const {

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "sccsim/addrmap.hpp"
+#include "sim/crc32c.hpp"
 #include "sim/log.hpp"
 
 namespace msvm::svm {
@@ -100,7 +101,8 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
       core_(kernel.core()),
       dir_width_(domain.chip().topology().max_cores()),
       meta_word_(*this, this),
-      policy_(make_policy(domain.config())) {
+      policy_(make_policy(domain.config())),
+      channel_(mbox) {
   // Flat per-page lookup tables: precompute the simulated-memory address
   // of every metadata word this domain can touch, so the MetaStore hot
   // path is one vector index instead of layout arithmetic per access.
@@ -140,6 +142,25 @@ SvmRuntime::SvmRuntime(kernel::Kernel& kernel, mbox::MailboxSystem& mbox,
                     [this](const mbox::Mail& m) { on_ack_mail(m); });
   mbox_.set_handler(kMailInvalAck,
                     [this](const mbox::Mail& m) { on_ack_mail(m); });
+
+  // Integrity layer: latched once — the plan is immutable for the run,
+  // and a latched bool keeps the flag-off fast paths branch-predictable.
+  const sim::FaultPlan& plan = core_.chip().faults().plan();
+  integrity_ = plan.integrity_armed();
+  if (plan.scrub_ps > 0) {
+    // Background scrubber: each member walks its own slice of the seal
+    // vector (interleaved cursors), so the domain is covered without any
+    // cross-core coordination and without double-verifying pages.
+    scrub_period_ps_ = plan.scrub_ps;
+    next_scrub_ps_ = plan.scrub_ps;
+    const std::vector<int>& members = domain_.members();
+    scrub_stride_ = std::max<int>(1, static_cast<int>(members.size()));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == core_.id()) scrub_rank_ = static_cast<int>(i);
+    }
+    scrub_cursor_ = static_cast<u64>(scrub_rank_);
+    kernel_.add_timer_handler([this] { scrub_tick(); });
+  }
 }
 
 void SvmRuntime::trace(const proto::TraceEvent& e) {
@@ -375,6 +396,19 @@ void SvmRuntime::mapping_fault(u64 vaddr, u64 page_idx, bool is_write) {
     // Affinity-on-next-touch: we are the first toucher after the mark —
     // move the frame next to our own controller.
     ++stats_.migrations;
+    if (integrity_) {
+      // The old frame may carry a sealed-and-flipped image; copying it
+      // into a writable mapping without a check would be the one silent-
+      // wrong path left. Verify while the scratchpad lock is held — and
+      // release it on the typed throw, or the poison wedges every later
+      // toucher in the TAS spin instead of faulting them.
+      try {
+        page_verify(page_idx);
+      } catch (...) {
+        core_.tas_release(lock_reg);
+        throw;
+      }
+    }
     const u16 old_frame = entry & kFrameMask;
     const int my_mc = core_.chip().topology().nearest_mc(core_.id());
     const u16 new_frame = alloc_frame_near(my_mc);
@@ -485,6 +519,13 @@ void SvmRuntime::install_mapping(u64 page_vaddr, u16 frame_no,
   pte.l2_enable = false;
   core_.pagetable().map(page_vaddr, pte);
   core_.compute_cycles(80);
+  if (integrity_ && writable) {
+    // A writable mapping ends the frame's quiescence: the seal no longer
+    // describes what DRAM will hold, so retire it (covers the ownership
+    // fast paths, migration's frame swap, and LRC's free remaps alike).
+    const u64 rel = page_index_of(page_vaddr) - page_index_base_;
+    if (rel < domain_.seals.size()) domain_.seals[rel].valid = false;
+  }
 }
 
 void SvmRuntime::map_readonly(u64 page_vaddr, u16 frame_no) {
@@ -519,18 +560,6 @@ u8 ack_of(u8 request_type) {
 constexpr TimePs kRetryBasePs = 50 * kPsPerMs;
 constexpr TimePs kRetryCapPs = 400 * kPsPerMs;
 
-/// SplitMix64 finaliser: mixes the ACK identity (sender, type, page,
-/// seq) into one dedup-ring key.
-u64 ack_key(const mbox::Mail& m) {
-  u64 x = (static_cast<u64>(static_cast<u32>(m.sender)) << 32) ^
-          (static_cast<u64>(m.type) << 24) ^ (m.p0 << 16) ^ m.arg16;
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x == 0 ? 1 : x;  // 0 means "empty ring entry"
-}
-
 }  // namespace
 
 void SvmRuntime::send(int dest, const proto::Msg& m) {
@@ -544,7 +573,7 @@ void SvmRuntime::send(int dest, const proto::Msg& m) {
   if (is_request_type(mail.type) && m.requester == self()) {
     // A fresh request this core originates: stamp a new sequence number
     // and remember it for bounded-wait retransmission.
-    mail.arg16 = ack_ring_.next_seq();
+    mail.arg16 = channel_.next_seq();
     proto::SharerSet awaiting(dir_width_);
     awaiting.set(dest);
     pending_ = PendingRequest{mail, awaiting, m.page, mail.arg16,
@@ -565,7 +594,7 @@ int SvmRuntime::multicast(const proto::SharerSet& dests,
   mail.type = static_cast<u8>(m.type);
   mail.p0 = m.page;
   mail.p1 = static_cast<u64>(m.requester);
-  mail.arg16 = ack_ring_.next_seq();
+  mail.arg16 = channel_.next_seq();
   proto::SharerSet awaiting = dests;
   awaiting.clear(self());
   std::vector<int> list;
@@ -579,10 +608,7 @@ int SvmRuntime::multicast(const proto::SharerSet& dests,
 void SvmRuntime::retransmit_pending() {
   if (!pending_) return;
   pending_->awaiting.for_each([this](int dest) {
-    // try_send only: a still-full slot means the original mail is still
-    // deliverable — re-raising the question must not block, and send()
-    // would. (try_send re-raises the IPI when it deposits.)
-    if (mbox_.try_send(dest, pending_->mail)) {
+    if (channel_.retransmit(dest, pending_->mail)) {
       ++stats_.retransmits;
       trace(proto::TraceEvent{proto::TraceKind::kMsgSend, pending_->page,
                               static_cast<u64>(pending_->mail.type),
@@ -604,7 +630,7 @@ void SvmRuntime::retransmit_pending() {
 }
 
 void SvmRuntime::on_ack_mail(const mbox::Mail& mail) {
-  switch (ack_ring_.admit(ack_key(mail))) {
+  switch (channel_.admit(mbox::ack_key(mail))) {
     case AckRing::Admit::kDuplicate:
       ++stats_.dup_acks_dropped;
       MSVM_LOG_INFO("core %d: dropped duplicate ack type=0x%x page=%llu "
@@ -898,23 +924,352 @@ void SvmRuntime::warn(const char* message) {
 }
 
 // ---------------------------------------------------------------------------
+// integrity layer — generation-stamped frame seals, snoop repair,
+// detect-or-die poisoning, and the background scrubber. Every function
+// here returns immediately unless the fault plan armed the layer, so a
+// flag-off run is byte-identical to one built before this code existed.
+
+namespace {
+
+// Modelled software costs (core cycles). The CRC is a table-driven
+// byte-at-a-time loop (~1 cycle/byte on the P54C-class core); a repair
+// line costs an MPB-order round-trip.
+constexpr u32 kCrcCyclesPerByte = 1;
+constexpr u32 kRepairCyclesPerLine = 100;
+constexpr u32 kMetaEccCycles = 200;
+
+}  // namespace
+
+u32 SvmRuntime::frame_crc(u64 frame_base) {
+  // Host-side read of the whole frame (the simulated cost is charged by
+  // the callers, who know whether the pass is a seal, verify or scrub).
+  scc::Memory& mem = core_.chip().memory();
+  const u32 page_bytes = core_.chip().config().page_bytes;
+  u8 buf[256];
+  u32 crc = 0;
+  for (u32 off = 0; off < page_bytes; off += sizeof(buf)) {
+    const u32 chunk =
+        std::min<u32>(sizeof(buf), page_bytes - off);
+    mem.read(frame_base + off, buf, chunk);
+    crc = off == 0 ? sim::crc32c(buf, chunk)
+                   : sim::crc32c_extend(crc, buf, chunk);
+  }
+  return crc;
+}
+
+void SvmRuntime::page_seal(u64 page, bool exclusive) {
+  if (!integrity_) return;
+  const u64 rel = page - page_index_base_;
+  assert(rel < domain_.seals.size() && "sealed page outside the domain");
+  const u32 page_bytes = core_.chip().config().page_bytes;
+  const u16 frame = meta_word_.frame_of(page);
+  const u64 base = domain_.frame_paddr(frame);
+
+  SvmDomain::PageSeal& seal = domain_.seals[rel];
+  seal.crc = frame_crc(base);
+  ++seal.gen;
+  seal.sealer = core_.id();
+  seal.valid = true;
+  seal.exclusive = exclusive;
+  ++stats_.pages_sealed;
+  core_.compute_cycles(page_bytes * kCrcCyclesPerByte);
+
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatIntegrity)) {
+    bus.publish(obs::Event{core_.now(), page, seal.gen, seal.crc,
+                           obs::EventKind::kPageSeal, core_.id()});
+  }
+
+  if (!exclusive) return;
+  // Chaos injection point: the injector corrupts frames only behind
+  // exclusive seals — the frame is unmapped everywhere and any sharer
+  // was invalidated before the handoff, so the next core to touch the
+  // page provably verifies before reading. Corrupting a non-exclusive
+  // (downgrade) seal could be read through a surviving read-only mapping
+  // without a verify: exactly the silent-wrong outcome this layer
+  // exists to kill, so those seals are verify-only.
+  const i64 bit =
+      core_.chip().faults().page_flip_bit(u64{page_bytes} * 8);
+  if (bit < 0) return;
+  scc::Memory& mem = core_.chip().memory();
+  const u64 paddr = base + static_cast<u64>(bit >> 3);
+  u8 byte = 0;
+  mem.read(paddr, &byte, 1);
+  byte ^= static_cast<u8>(1u << (bit & 7));
+  mem.write(paddr, &byte, 1);
+  if (bus.enabled(obs::kCatChaos)) {
+    bus.publish(obs::Event{
+        core_.now(), static_cast<u64>(obs::InjectKind::kPageFlip), page,
+        static_cast<u64>(bit), obs::EventKind::kFaultInject, core_.id()});
+  }
+}
+
+bool SvmRuntime::snoop_repair(u64 frame_base,
+                              const SvmDomain::PageSeal& seal,
+                              bool& used_remote) {
+  scc::Chip& chip = core_.chip();
+  const u32 line = chip.config().line_bytes;
+  const u32 page_bytes = chip.config().page_bytes;
+  const int ncores = chip.config().num_cores;
+  used_remote = false;
+  u32 copied = 0;
+  for (u32 off = 0; off < page_bytes; off += line) {
+    const u64 paddr = frame_base + off;
+    const u8* src = nullptr;
+    int src_core = -1;
+    // Prefer the sealer's L1 (write-through: anything it still caches is
+    // exactly what it sealed), then any other live core holding the line
+    // (a read replica installed before the corruption).
+    if (seal.sealer >= 0 && seal.sealer < ncores &&
+        !chip.core_dead(seal.sealer)) {
+      src = chip.core(seal.sealer).l1().peek_line(paddr);
+      if (src != nullptr) src_core = seal.sealer;
+    }
+    for (int i = 0; src == nullptr && i < ncores; ++i) {
+      if (i == seal.sealer || chip.core_dead(i)) continue;
+      src = chip.core(i).l1().peek_line(paddr);
+      if (src != nullptr) src_core = i;
+    }
+    if (src == nullptr) continue;
+    chip.memory().write(paddr, src, line);
+    if (src_core != seal.sealer) used_remote = true;
+    ++copied;
+  }
+  if (copied == 0) return false;
+  core_.compute_cycles(copied * kRepairCyclesPerLine +
+                       page_bytes * kCrcCyclesPerByte);
+  return frame_crc(frame_base) == seal.crc;
+}
+
+void SvmRuntime::poison_page(u64 page, u32 gen) {
+  // Traced metadata store: the coherence auditor sees the sentinel, and
+  // the ECC shadow records it — so a later "correction" can never
+  // resurrect the pre-poison owner word.
+  meta_word_.set_owner(page, kOwnerCorrupt);
+  const u64 rel = page - page_index_base_;
+  if (rel < domain_.seals.size()) {
+    // The page is dead; retire the seal so the scrubber reports (and the
+    // ledger counts) each poisoning exactly once.
+    domain_.seals[rel].valid = false;
+  }
+  ++stats_.pages_poisoned;
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatIntegrity)) {
+    bus.publish(obs::Event{
+        core_.now(), page, gen,
+        static_cast<u64>(obs::IntegrityAction::kPoisoned),
+        obs::EventKind::kPageCorrupt, core_.id()});
+  }
+}
+
+void SvmRuntime::page_verify(u64 page) {
+  if (!integrity_) return;
+  const u64 rel = page - page_index_base_;
+  assert(rel < domain_.seals.size() && "verified page outside the domain");
+  SvmDomain::PageSeal& seal = domain_.seals[rel];
+  if (!seal.valid) return;  // nothing to check against (e.g. first touch)
+  ++stats_.seal_verifies;
+  const u32 page_bytes = core_.chip().config().page_bytes;
+  core_.compute_cycles(page_bytes * kCrcCyclesPerByte);
+  const u64 base = domain_.frame_paddr(meta_word_.frame_of(page));
+  if (frame_crc(base) == seal.crc) return;
+
+  bool used_remote = false;
+  if (snoop_repair(base, seal, used_remote)) {
+    if (used_remote) {
+      ++stats_.seal_refetches;
+    } else {
+      ++stats_.seal_repairs;
+    }
+    obs::EventBus& bus = core_.chip().bus();
+    if (bus.enabled(obs::kCatIntegrity)) {
+      bus.publish(obs::Event{
+          core_.now(), page, seal.gen,
+          static_cast<u64>(used_remote ? obs::IntegrityAction::kRefetched
+                                       : obs::IntegrityAction::kRepaired),
+          obs::EventKind::kPageCorrupt, core_.id()});
+    }
+    return;
+  }
+  // No clean copy anywhere: detect-or-die. The typed throw unwinds to
+  // handle_fault, which releases any transfer lock this core holds.
+  poison_page(page, seal.gen);
+  throw proto::SvmIntegrityError(page);
+}
+
+void SvmRuntime::scrub_tick() {
+  if (core_.now() < next_scrub_ps_) return;
+  next_scrub_ps_ = core_.now() + scrub_period_ps_;
+  const u64 n = domain_.seals.size();
+  if (n == 0) return;
+  const u32 page_bytes = core_.chip().config().page_bytes;
+  // Bounded per-tick work: the scrubber runs in timer-interrupt context
+  // and must not stall the interrupted computation for a whole share.
+  constexpr u64 kPagesPerPass = 32;
+  u64 walked = 0;
+  u64 corrupt = 0;
+  for (u64 steps = 0; steps < n && walked < kPagesPerPass; ++steps) {
+    const u64 rel = scrub_cursor_ % n;
+    scrub_cursor_ = rel + static_cast<u64>(scrub_stride_);
+    SvmDomain::PageSeal& seal = domain_.seals[rel];
+    if (!seal.valid) continue;
+    ++walked;
+    // Frame number from the ECC shadow (golden, host-side — a scrub must
+    // not trust a possibly-flipped scratchpad word), raw memory as the
+    // fallback for words never stored since boot.
+    u64 entry = 0;
+    const auto it = domain_.meta_shadow.find(scratch_paddr_[rel]);
+    if (it != domain_.meta_shadow.end()) {
+      entry = it->second;
+    } else {
+      u16 word = 0;
+      core_.chip().memory().read(scratch_paddr_[rel], &word, sizeof(word));
+      entry = word;
+    }
+    const u16 frame = static_cast<u16>(entry) & kFrameMask;
+    if (frame == 0) continue;
+    const u64 base = domain_.frame_paddr(frame);
+    core_.compute_cycles(page_bytes * kCrcCyclesPerByte);
+    if (frame_crc(base) == seal.crc) continue;
+    ++corrupt;
+    bool used_remote = false;
+    if (snoop_repair(base, seal, used_remote)) {
+      if (used_remote) {
+        ++stats_.seal_refetches;
+      } else {
+        ++stats_.seal_repairs;
+      }
+      obs::EventBus& bus = core_.chip().bus();
+      if (bus.enabled(obs::kCatIntegrity)) {
+        bus.publish(obs::Event{
+            core_.now(), page_index_base_ + rel, seal.gen,
+            static_cast<u64>(used_remote
+                                 ? obs::IntegrityAction::kRefetched
+                                 : obs::IntegrityAction::kRepaired),
+            obs::EventKind::kPageCorrupt, core_.id()});
+      }
+      continue;
+    }
+    // Unrepairable from interrupt context too: poison now (no throw — no
+    // access is faulting), so the next toucher gets the typed error
+    // instead of a stale verify.
+    poison_page(page_index_base_ + rel, seal.gen);
+  }
+  if (walked == 0) return;
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatIntegrity)) {
+    bus.publish(obs::Event{core_.now(), walked, corrupt, 0,
+                           obs::EventKind::kScrubPass, core_.id()});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // proto::MetaStore — one choke point for all metadata words (the former
 // owner_read/owner_write/dir_read/dir_write/scratchpad_read/
 // scratchpad_write boilerplate, deduplicated)
+
+u64 SvmRuntime::meta_load_word(u64 paddr, u32 bits, proto::MetaKind kind,
+                               u64 page) {
+  // ECC model: the word is checked against the host-side shadow of the
+  // last store and a divergence (an injected flipmeta bit) corrected in
+  // place — the way ECC DRAM scrubs a single-bit error on read — before
+  // any protocol decision can act on the flipped word. The check runs
+  // host-side at load *issue*, before the simulated pload samples
+  // memory: the pload's modelled latency yields the fiber, and a
+  // concurrent legitimate store completing inside that window would make
+  // a completion-time comparison flag good data as corrupt (shadow and
+  // memory only move together at store issue, see meta_store_word).
+  bool corrected = false;
+  if (integrity_) {
+    const auto it = domain_.meta_shadow.find(paddr);
+    if (it != domain_.meta_shadow.end()) {
+      scc::Memory& mem = core_.chip().memory();
+      u64 raw = 0;
+      if (bits == 16) {
+        u16 word = 0;
+        mem.read(paddr, &word, sizeof(word));
+        raw = word;
+      } else {
+        mem.read(paddr, &raw, sizeof(raw));
+      }
+      if (raw != it->second) {
+        // No yield may happen between this repair write and the pload's
+        // sample below, or a concurrently injected flip could slip past
+        // the check — the modelled ECC cost is charged after the load.
+        const u64 good = it->second;
+        if (bits == 16) {
+          const u16 word = static_cast<u16>(good);
+          mem.write(paddr, &word, sizeof(word));
+        } else {
+          mem.write(paddr, &good, sizeof(good));
+        }
+        ++stats_.meta_corrections;
+        corrected = true;
+        obs::EventBus& bus = core_.chip().bus();
+        if (bus.enabled(obs::kCatIntegrity)) {
+          bus.publish(obs::Event{core_.now(), page, static_cast<u64>(kind),
+                                 good, obs::EventKind::kMetaCorrupt,
+                                 core_.id()});
+        }
+      }
+    }
+  }
+  const u64 value =
+      bits == 16 ? core_.pload<u16>(paddr, scc::MemPolicy::kUncached)
+                 : core_.pload<u64>(paddr, scc::MemPolicy::kUncached);
+  if (corrected) core_.compute_cycles(kMetaEccCycles);
+  return value;
+}
+
+void SvmRuntime::meta_store_word(u64 paddr, u64 value, u32 bits,
+                                 u64 page) {
+  if (bits == 16) {
+    value &= 0xffff;  // shadow must compare equal to the zero-extended load
+  }
+  // Shadow first: the uncached pstore applies its device write at issue
+  // but then yields for the modelled latency, and the shadow must move
+  // in the same atomic step as memory — a load issued inside the latency
+  // window would otherwise see new data against an old shadow and
+  // "correct" a legitimate store away.
+  if (integrity_) domain_.meta_shadow[paddr] = value;
+  if (bits == 16) {
+    core_.pstore<u16>(paddr, static_cast<u16>(value),
+                      scc::MemPolicy::kUncached);
+  } else {
+    core_.pstore<u64>(paddr, value, scc::MemPolicy::kUncached);
+  }
+  if (!integrity_) return;
+  // Chaos injection point: flip one bit of the word as stored. Sound at
+  // any rate — the shadow comparison above catches the flip at the next
+  // load, so a flipped owner/frame/directory word is never acted upon.
+  const int bit = core_.chip().faults().meta_flip_bit(bits);
+  if (bit < 0) return;
+  const u64 flipped = value ^ (u64{1} << bit);
+  scc::Memory& mem = core_.chip().memory();
+  if (bits == 16) {
+    const u16 word = static_cast<u16>(flipped);
+    mem.write(paddr, &word, sizeof(word));
+  } else {
+    mem.write(paddr, &flipped, sizeof(flipped));
+  }
+  obs::EventBus& bus = core_.chip().bus();
+  if (bus.enabled(obs::kCatChaos)) {
+    bus.publish(obs::Event{
+        core_.now(), static_cast<u64>(obs::InjectKind::kMetaFlip), page,
+        static_cast<u64>(bit), obs::EventKind::kFaultInject, core_.id()});
+  }
+}
 
 u64 SvmRuntime::load(proto::MetaKind kind, u64 page) {
   const u64 rel = page - page_index_base_;
   assert(rel < owner_paddr_.size() && "metadata page outside the domain");
   switch (kind) {
     case proto::MetaKind::kOwner:
-      return core_.pload<u16>(owner_paddr_[rel],
-                              scc::MemPolicy::kUncached);
+      return meta_load_word(owner_paddr_[rel], 16, kind, page);
     case proto::MetaKind::kScratchpad:
-      return core_.pload<u16>(scratch_paddr_[rel],
-                              scc::MemPolicy::kUncached);
+      return meta_load_word(scratch_paddr_[rel], 16, kind, page);
     case proto::MetaKind::kDirectory:
-      return core_.pload<u64>(sharer_paddr_[rel],
-                              scc::MemPolicy::kUncached);
+      return meta_load_word(sharer_paddr_[rel], 64, kind, page);
   }
   panic("unknown MetaKind load");
 }
@@ -928,11 +1283,12 @@ proto::DirEntry SvmRuntime::load_dir(u64 page) {
   const u64 base = sharer_paddr_[rel];
   proto::DirEntry e(dir_width_);
   e.shared =
-      (core_.pload<u64>(base, scc::MemPolicy::kUncached) & 1) != 0;
+      (meta_load_word(base, 64, proto::MetaKind::kDirectory, page) & 1) !=
+      0;
   for (int w = 0; w < domain_.sharer_words(); ++w) {
     e.sharers.set_word(
-        w, core_.pload<u64>(base + 8 * static_cast<u64>(w + 1),
-                            scc::MemPolicy::kUncached));
+        w, meta_load_word(base + 8 * static_cast<u64>(w + 1), 64,
+                          proto::MetaKind::kDirectory, page));
   }
   return e;
 }
@@ -945,11 +1301,10 @@ void SvmRuntime::store_dir(u64 page, const proto::DirEntry& e) {
   const u64 rel = page - page_index_base_;
   assert(rel < sharer_paddr_.size() && "metadata page outside the domain");
   const u64 base = sharer_paddr_[rel];
-  core_.pstore<u64>(base, e.shared ? u64{1} : u64{0},
-                    scc::MemPolicy::kUncached);
+  meta_store_word(base, e.shared ? u64{1} : u64{0}, 64, page);
   for (int w = 0; w < domain_.sharer_words(); ++w) {
-    core_.pstore<u64>(base + 8 * static_cast<u64>(w + 1), e.sharers.word(w),
-                      scc::MemPolicy::kUncached);
+    meta_store_word(base + 8 * static_cast<u64>(w + 1), e.sharers.word(w),
+                    64, page);
   }
 }
 
@@ -958,16 +1313,13 @@ void SvmRuntime::store(proto::MetaKind kind, u64 page, u64 value) {
   assert(rel < owner_paddr_.size() && "metadata page outside the domain");
   switch (kind) {
     case proto::MetaKind::kOwner:
-      core_.pstore<u16>(owner_paddr_[rel], static_cast<u16>(value),
-                        scc::MemPolicy::kUncached);
+      meta_store_word(owner_paddr_[rel], value, 16, page);
       return;
     case proto::MetaKind::kScratchpad:
-      core_.pstore<u16>(scratch_paddr_[rel], static_cast<u16>(value),
-                        scc::MemPolicy::kUncached);
+      meta_store_word(scratch_paddr_[rel], value, 16, page);
       return;
     case proto::MetaKind::kDirectory:
-      core_.pstore<u64>(sharer_paddr_[rel], value,
-                        scc::MemPolicy::kUncached);
+      meta_store_word(sharer_paddr_[rel], value, 64, page);
       return;
   }
   panic("unknown MetaKind store");

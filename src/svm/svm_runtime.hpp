@@ -84,6 +84,8 @@ class SvmRuntime final : public proto::ProtocolEnv,
   void downgrade_page(u64 page) override;
   void transfer_lock(u64 page) override;
   void transfer_unlock(u64 page) override;
+  void page_seal(u64 page, bool exclusive) override;
+  void page_verify(u64 page) override;
   void irq_off() override;
   void irq_on() override;
   void cost_cycles(u32 cycles) override;
@@ -171,6 +173,29 @@ class SvmRuntime final : public proto::ProtocolEnv,
   void install_mapping(u64 page_vaddr, u16 frame_no, bool writable);
   u64 page_vaddr_of(u64 page_idx) const;
 
+  // ---- integrity layer (armed only; see DESIGN.md §15) ----
+
+  /// Host-side CRC32C of the frame at simulated physical `frame_base`.
+  u32 frame_crc(u64 frame_base);
+  /// Tries to rebuild a corrupted frame from clean cached copies in live
+  /// cores' L1s (write-through: any MPBT line still cached is clean).
+  /// Returns true when the rebuilt frame matches the seal; `used_remote`
+  /// reports whether any repair line came from a core other than the
+  /// sealer. Host-side writes; modelled cost charged per copied line.
+  bool snoop_repair(u64 frame_base, const SvmDomain::PageSeal& seal,
+                    bool& used_remote);
+  /// Marks `page` permanently lost: owner word := kOwnerCorrupt (a
+  /// traced metadata store, so the auditor and the ECC shadow both see
+  /// the poison), publishes kPageCorrupt/kPoisoned.
+  void poison_page(u64 page, u32 gen);
+  /// One metadata word through the flipmeta + ECC-shadow pipeline.
+  u64 meta_load_word(u64 paddr, u32 bits, proto::MetaKind kind, u64 page);
+  void meta_store_word(u64 paddr, u64 value, u32 bits, u64 page);
+  /// Timer hook (registered only when the plan sets scrub_ps): walks a
+  /// bounded slice of this core's sealed pages per period, repairing or
+  /// poisoning any frame that no longer matches its seal.
+  void scrub_tick();
+
   kernel::Kernel& kernel_;
   mbox::MailboxSystem& mbox_;
   SvmDomain& domain_;
@@ -210,10 +235,19 @@ class SvmRuntime final : public proto::ProtocolEnv,
                          // forwards and ACKs echo it so the chain keeps
                          // the originator's sequence number end to end
   std::optional<PendingRequest> pending_;
-  /// Request sequence counter + bounded recent-ACK dedup ring (wrap and
-  /// eviction semantics live in svm/ack_ring.hpp, where they are unit-
-  /// tested directly).
-  AckRing ack_ring_;
+  /// Request sequence stamping + bounded recent-ACK dedup + idempotent
+  /// retransmission (wrap and eviction semantics live in
+  /// mailbox/reliable.hpp, where they are unit-tested directly).
+  mbox::ReliableChannel channel_;
+
+  // ---- integrity layer state (all inert unless integrity_) ----
+
+  bool integrity_ = false;  // latched from FaultPlan::integrity_armed()
+  TimePs scrub_period_ps_ = 0;
+  TimePs next_scrub_ps_ = 0;
+  u64 scrub_cursor_ = 0;   // resumes the bounded walk across passes
+  int scrub_rank_ = 0;     // this core's index among the domain members
+  int scrub_stride_ = 1;   // member count (each core scrubs its slice)
 };
 
 }  // namespace msvm::svm

@@ -46,8 +46,10 @@ KillMosaicResult run_kill_mosaic(const KillMosaicParams& p,
          "one 8-byte slot per rank must fit in a page");
 
   if (p.audit) {
-    // The dead-set needs the kCoreKill injection records (kCatChaos).
-    cl.chip().bus().enable(obs::kCatChaos);
+    // The dead-set needs the kCoreKill injection records (kCatChaos);
+    // the poison-finality invariant and the integrity tallies need the
+    // seal/corrupt/scrub events (kCatIntegrity).
+    cl.chip().bus().enable(obs::kCatChaos | obs::kCatIntegrity);
     cl.chip().bus().attach(&shadow);
   }
 
@@ -95,6 +97,29 @@ KillMosaicResult run_kill_mosaic(const KillMosaicParams& p,
     result.pages_rehomed += s.pages_rehomed;
     result.pages_refetched += s.pages_refetched;
     result.locks_broken += s.locks_broken;
+  }
+  // Corruption ledger: injected counts from the chip-wide fault oracle,
+  // detection counts summed over every booted member — dead cores
+  // included, since a flip detected (and counted) before a fail-stop
+  // must still reconcile against the injection side.
+  const sim::FaultStats& fs = cl.chip().faults().stats();
+  result.mail_flips = fs.mail_flips;
+  result.page_flips = fs.page_flips;
+  result.meta_flips = fs.meta_flips;
+  for (const int c : cl.members()) {
+    const svm::SvmStats& s = cl.node(c).svm().stats();
+    result.pages_sealed += s.pages_sealed;
+    result.seal_verifies += s.seal_verifies;
+    result.seal_repairs += s.seal_repairs;
+    result.seal_refetches += s.seal_refetches;
+    result.pages_poisoned += s.pages_poisoned;
+    result.meta_corrections += s.meta_corrections;
+    result.mail_corrupt_drops += cl.node(c).mbox().stats().corrupt_drops;
+  }
+  for (const auto& f : result.failures) {
+    if (f.what.find("integrity") != std::string::npos) {
+      ++result.ranks_corrupt;
+    }
   }
   if (p.audit) {
     result.audit_events = shadow.events_audited();

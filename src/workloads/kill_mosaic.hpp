@@ -53,6 +53,25 @@ struct KillMosaicResult {
   u64 pages_refetched = 0;
   u64 locks_broken = 0;
 
+  // Corruption ledger (armed plans only). Injected counts come from the
+  // chip-wide FaultStats; detection counts are summed over every booted
+  // member (dead cores included — their tallies froze at death, but the
+  // flips they detected before dying must still reconcile):
+  //   mail_flips == mail_corrupt_drops            (every flip dropped)
+  //   seal_repairs + seal_refetches + pages_poisoned <= page_flips
+  //   meta_corrections <= meta_flips               (corrected on reload)
+  u64 mail_flips = 0;
+  u64 page_flips = 0;
+  u64 meta_flips = 0;
+  u64 mail_corrupt_drops = 0;
+  u64 pages_sealed = 0;
+  u64 seal_verifies = 0;
+  u64 seal_repairs = 0;
+  u64 seal_refetches = 0;
+  u64 pages_poisoned = 0;
+  u64 meta_corrections = 0;
+  int ranks_corrupt = 0;  // typed SvmIntegrityError aborts (subset of lost)
+
   // Auditor verdict (audit == true only).
   u64 audit_events = 0;
   u64 audit_violations = 0;

@@ -137,6 +137,86 @@ TEST(FaultPlanParse, RecoveryKnobsAloneAreNotFaults) {
   EXPECT_FALSE(p.any_faults());
 }
 
+TEST(FaultPlanParse, FlipClausesRoundTripThroughToSpec) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed=5,flipmail=0.02@7,flippage=0.2,flipmeta=0.01,scrub=200us,"
+      "watchdog=500ms");
+  EXPECT_DOUBLE_EQ(p.flipmail, 0.02);
+  EXPECT_EQ(p.flipmail_core, 7);
+  EXPECT_DOUBLE_EQ(p.flippage, 0.2);
+  EXPECT_DOUBLE_EQ(p.flipmeta, 0.01);
+  EXPECT_EQ(p.scrub_ps, 200 * kPsPerUs);
+  EXPECT_TRUE(p.any_faults());
+  EXPECT_TRUE(p.integrity_armed());
+
+  const FaultPlan q = FaultPlan::parse(p.to_spec());
+  EXPECT_EQ(q.to_spec(), p.to_spec());
+  EXPECT_DOUBLE_EQ(q.flipmail, p.flipmail);
+  EXPECT_EQ(q.flipmail_core, p.flipmail_core);
+  EXPECT_DOUBLE_EQ(q.flippage, p.flippage);
+  EXPECT_DOUBLE_EQ(q.flipmeta, p.flipmeta);
+  EXPECT_EQ(q.scrub_ps, p.scrub_ps);
+
+  // A bare flipmail (no @CORE filter) round-trips without growing one.
+  const FaultPlan bare = FaultPlan::parse("flipmail=0.1");
+  EXPECT_EQ(bare.flipmail_core, -1);
+  EXPECT_EQ(FaultPlan::parse(bare.to_spec()).flipmail_core, -1);
+}
+
+TEST(FaultPlanParse, IntegrityKnobsAloneAreNotFaults) {
+  // Checksums without injection: byte-identical data, just guarded — so
+  // any_faults (the injection gate) stays false while integrity_armed
+  // (the detection gate) turns on.
+  for (const char* spec : {"integrity=1", "scrub=500us"}) {
+    const FaultPlan p = FaultPlan::parse(spec);
+    EXPECT_FALSE(p.any_faults()) << spec;
+    EXPECT_TRUE(p.integrity_armed()) << spec;
+  }
+  // Every flip clause implies the detection layer: injecting corruption
+  // nobody checks for would be the silent-wrong outcome itself.
+  for (const char* spec : {"flipmail=0.1", "flippage=0.1", "flipmeta=0.1"}) {
+    const FaultPlan p = FaultPlan::parse(spec);
+    EXPECT_TRUE(p.any_faults()) << spec;
+    EXPECT_TRUE(p.integrity_armed()) << spec;
+  }
+  EXPECT_FALSE(FaultPlan::parse("integrity=0").integrity_armed());
+}
+
+TEST(FaultPlanParse, MalformedFlipClausesRejectedWithOffendingToken) {
+  struct BadSpec {
+    const char* spec;
+    const char* why;
+    const char* in_msg;
+  };
+  static constexpr BadSpec kBad[] = {
+      {"flipmail=", "flipmail empty probability", "flipmail="},
+      {"flipmail=1.5", "flipmail probability above 1", "outside [0,1]"},
+      {"flipmail=-0.1", "flipmail negative probability", "outside [0,1]"},
+      {"flipmail=nan", "flipmail NaN", "outside [0,1]"},
+      {"flipmail=0.1@", "flipmail empty core filter", "flipmail=0.1@"},
+      {"flipmail=0.1@x", "flipmail non-numeric core", "flipmail=0.1@x"},
+      {"flipmail=0.1@-3", "flipmail negative core", "flipmail=0.1@-3"},
+      {"flipmail=0.1@200000", "flipmail implausible core", "implausible"},
+      {"flippage=2", "flippage probability above 1", "outside [0,1]"},
+      {"flippage=0.1@3", "flippage takes no core filter", "outside [0,1]"},
+      {"flipmeta=oops", "flipmeta non-numeric", "flipmeta=oops"},
+      {"integrity=yes", "integrity non-boolean", "expected 0 or 1"},
+      {"integrity=2", "integrity out of range", "expected 0 or 1"},
+      {"scrub=5", "scrub without unit", "suffix"},
+      {"scrub=-1ms", "scrub negative", "scrub=-1ms"},
+  };
+  for (const BadSpec& b : kBad) {
+    try {
+      FaultPlan::parse(b.spec);
+      FAIL() << "expected FaultSpecError for '" << b.spec << "' (" << b.why
+             << ")";
+    } catch (const FaultSpecError& e) {
+      EXPECT_NE(std::string(e.what()).find(b.in_msg), std::string::npos)
+          << "spec '" << b.spec << "' (" << b.why << "): " << e.what();
+    }
+  }
+}
+
 TEST(FaultInjector, DisabledPlanNeverInjects) {
   FaultInjector inj{FaultPlan{}};
   EXPECT_FALSE(inj.enabled());
@@ -147,6 +227,9 @@ TEST(FaultInjector, DisabledPlanNeverInjects) {
     EXPECT_FALSE(inj.duplicate_mail());
     EXPECT_EQ(inj.stall_ps(), 0u);
     EXPECT_EQ(inj.spurious_wake_ps(kPsPerMs), 0u);
+    EXPECT_EQ(inj.mail_flip_bit(0, 248), -1);
+    EXPECT_EQ(inj.page_flip_bit(4096 * 8), -1);
+    EXPECT_EQ(inj.meta_flip_bit(16), -1);
   }
   EXPECT_EQ(inj.stats().ipis_dropped, 0u);
   EXPECT_EQ(inj.stats().stalls, 0u);
@@ -166,6 +249,67 @@ TEST(FaultInjector, SameSeedReplaysTheSameFaultSchedule) {
   EXPECT_GT(a.stats().ipis_dropped, 0u);
   EXPECT_GT(a.stats().flags_delayed, 0u);
   EXPECT_GT(a.stats().stalls, 0u);
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameFlipSchedule) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=11,flipmail=0.3,flippage=0.2,flipmeta=0.25");
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.mail_flip_bit(i % 48, 248), b.mail_flip_bit(i % 48, 248));
+    EXPECT_EQ(a.page_flip_bit(4096 * 8), b.page_flip_bit(4096 * 8));
+    EXPECT_EQ(a.meta_flip_bit(16), b.meta_flip_bit(16));
+  }
+  EXPECT_EQ(a.stats().mail_flips, b.stats().mail_flips);
+  EXPECT_GT(a.stats().mail_flips, 0u);
+  EXPECT_GT(a.stats().page_flips, 0u);
+  EXPECT_GT(a.stats().meta_flips, 0u);
+}
+
+TEST(FaultInjector, ClauseSubStreamsAreIndependent) {
+  // The determinism contract behind per-clause sub-seeds: arming an
+  // extra clause must not perturb the draws of the clauses already in
+  // the plan, even when the queries interleave.
+  FaultInjector just_mail{FaultPlan::parse("seed=3,flipmail=0.2")};
+  FaultInjector mail_and_more{FaultPlan::parse(
+      "seed=3,flipmail=0.2,flippage=0.5,flipmeta=0.5,ipi_drop=0.4")};
+  for (int i = 0; i < 2000; ++i) {
+    const int expect = just_mail.mail_flip_bit(i % 8, 248);
+    mail_and_more.page_flip_bit(4096 * 8);
+    mail_and_more.drop_ipi();
+    EXPECT_EQ(mail_and_more.mail_flip_bit(i % 8, 248), expect) << i;
+    mail_and_more.meta_flip_bit(64);
+  }
+  EXPECT_EQ(mail_and_more.stats().mail_flips, just_mail.stats().mail_flips);
+}
+
+TEST(FaultInjector, FlipMailCoreFilterConsumesNoForeignDraws) {
+  // Mails to cores outside the @CORE filter must not advance the stream:
+  // focusing the clause on core 5 leaves core 5's own flip schedule
+  // exactly as if the other cores' deliveries never happened.
+  FaultInjector focused{FaultPlan::parse("seed=9,flipmail=0.3@5")};
+  FaultInjector reference{FaultPlan::parse("seed=9,flipmail=0.3@5")};
+  for (int i = 0; i < 500; ++i) {
+    for (int other = 0; other < 48; ++other) {
+      if (other == 5) continue;
+      EXPECT_EQ(focused.mail_flip_bit(other, 248), -1);
+    }
+    EXPECT_EQ(focused.mail_flip_bit(5, 248), reference.mail_flip_bit(5, 248));
+  }
+  EXPECT_EQ(focused.stats().mail_flips, reference.stats().mail_flips);
+  EXPECT_GT(focused.stats().mail_flips, 0u);
+}
+
+TEST(FaultInjector, ClauseSeedsAreDistinct) {
+  // The sub-seed finalizer must spread neighbouring clause indices apart;
+  // a collision would correlate two clauses' schedules.
+  for (u32 i = 0; i < static_cast<u32>(FaultClause::kCount); ++i) {
+    for (u32 j = i + 1; j < static_cast<u32>(FaultClause::kCount); ++j) {
+      EXPECT_NE(fault_clause_seed(42, static_cast<FaultClause>(i)),
+                fault_clause_seed(42, static_cast<FaultClause>(j)));
+    }
+  }
 }
 
 TEST(FaultInjector, DifferentSeedsDiverge) {
